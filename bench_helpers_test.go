@@ -1,0 +1,21 @@
+package flexer_test
+
+import (
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// benchLayer is a mid-size convolution with real memory pressure.
+func benchLayer() layer.Conv {
+	return layer.NewConv("bench", 28, 28, 128, 256, 3)
+}
+
+// searchPresetOptions builds quick-budget search options on arch1.
+func searchPresetOptions() (search.Options, error) {
+	cfg, err := arch.Preset("arch1")
+	if err != nil {
+		return search.Options{}, err
+	}
+	return search.Options{Arch: cfg, Budget: search.QuickBudget()}, nil
+}

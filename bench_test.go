@@ -1,0 +1,214 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each benchmark
+// runs its experiment end to end — workload generation, tiling
+// enumeration, out-of-order scheduling, static baseline, aggregation —
+// and reports the headline quantities as custom metrics next to the
+// usual ns/op.
+//
+// The workloads are the paper's four networks, spatially scaled by 4
+// and searched under the quick budget so that the full suite completes
+// in minutes rather than the paper's ~20 h/network exhaustive search;
+// run `flexerbench -scale 1 -budget default` for a full-size pass.
+package flexer_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/experiments"
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// benchCache is shared by all benchmarks so repeated layer shapes are
+// searched once across the whole suite, like the harness binary does.
+var benchCache = search.NewCache()
+
+// benchConfig returns the shared experiment configuration. The single
+// 10-minute `go test` timeout has to cover every figure, so networks
+// are scaled by 6 and single-layer experiments by 2; the flexerbench
+// binary runs the same experiments at any scale and budget.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.Scale = 6
+	cfg.LayerScale = 2
+	cfg.Cache = benchCache
+	return cfg
+}
+
+func BenchmarkTable1ArchPresets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchConfig())
+		if len(rows) != 8 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig1TilingScatter(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ooo int
+		for _, p := range points {
+			if p.OoO {
+				ooo++
+			}
+		}
+		b.ReportMetric(float64(ooo), "ooo-points")
+	}
+}
+
+func BenchmarkFig8EndToEnd(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		// All four networks on the 2-core and 4-core 256 KiB archs;
+		// `flexerbench -exp fig8` sweeps the full eight-arch grid.
+		rows, err := experiments.Fig8Subset(cfg,
+			[]string{"vgg16", "resnet50", "squeezenet", "yolov2"},
+			[]string{"arch1", "arch5"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp, red float64
+		for _, r := range rows {
+			sp += r.Speedup
+			red += r.Reduction
+		}
+		b.ReportMetric(sp/float64(len(rows)), "mean-speedup")
+		b.ReportMetric(red/float64(len(rows)), "mean-reduction")
+	}
+}
+
+func BenchmarkFig9aLayerByLayer(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		max := 0.0
+		for _, r := range rows {
+			if r.Speedup > max {
+				max = r.Speedup
+			}
+		}
+		b.ReportMetric(max, "max-layer-speedup")
+	}
+}
+
+func BenchmarkFig9bMinTransfer(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].MinTransReduct, "conv3_1-reduction")
+	}
+}
+
+func BenchmarkFig9cMetricComparison(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.Fig9c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.DefaultSpeedup, "default-speedup")
+		b.ReportMetric(row.MinTransReduct, "mintrans-reduction")
+	}
+}
+
+func BenchmarkFig10DataMovement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report how much the static schedule's reload variation
+		// differs from Flexer's: the paper's point is that OoO
+		// schedules show spread-out reload counts.
+		maxMoves := 0
+		for _, r := range rows {
+			if r.Schedule == "flexer" && r.MaxMoves > maxMoves {
+				maxMoves = r.MaxMoves
+			}
+		}
+		b.ReportMetric(float64(maxMoves), "flexer-max-moves")
+	}
+}
+
+func BenchmarkFig11SpatialReuse(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		patterns := map[string]bool{}
+		for _, r := range rows {
+			if r.Schedule == "flexer" && r.Pattern != "none" {
+				patterns[r.Pattern] = true
+			}
+		}
+		b.ReportMetric(float64(len(patterns)), "flexer-patterns")
+	}
+}
+
+func BenchmarkFig12PolicyAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		// One network on both core counts; `flexerbench -exp fig12`
+		// runs the paper's full two-network, two-arch grid.
+		rows, err := experiments.Fig12Subset(cfg, []string{"vgg16"}, []string{"arch1", "arch6"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstMem, worstPrio := 0.0, 0.0
+		for _, r := range rows {
+			if strings.HasPrefix(r.Variant, "mempolicy") && r.Normalized > worstMem {
+				worstMem = r.Normalized
+			}
+			if strings.HasPrefix(r.Variant, "priority") && r.Normalized > worstPrio {
+				worstPrio = r.Normalized
+			}
+		}
+		b.ReportMetric(worstMem, "worst-mempolicy")
+		b.ReportMetric(worstPrio, "worst-priority")
+	}
+}
+
+func BenchmarkAblationPruningAndInPlace(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.OffVsOn, r.Feature+"-off/on")
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw scheduling speed: tiled ops
+// scheduled per second on one mid-size layer/tiling, isolating the OoO
+// engine from the outer search.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	cfg, err := searchPresetOptions()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lr, err := search.SearchLayer(benchLayer(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(lr.Candidates)), "tilings")
+	}
+}

@@ -1,0 +1,145 @@
+// Command flexerbench regenerates the tables and figures of the paper's
+// evaluation section and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	flexerbench -exp fig8                 # one experiment
+//	flexerbench -exp all                  # everything
+//	flexerbench -exp fig8 -scale 1 -budget default   # full-size run
+//
+// Experiments: table1, fig1, fig8, fig9a, fig9b, fig9c, fig10, fig11,
+// fig12, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/flexer-sched/flexer/internal/experiments"
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig1, fig8, fig9a, fig9b, fig9c, fig10, fig11, fig12, ablations, bandwidth, energy, chain, all)")
+	scale := flag.Int("scale", 4, "divide network spatial dimensions by this factor (1 = full size)")
+	budget := flag.String("budget", "quick", "search budget: quick or default")
+	workers := flag.Int("workers", 0, "search parallelism (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:   *scale,
+		Workers: *workers,
+		Cache:   search.NewCache(),
+	}
+	switch *budget {
+	case "quick":
+		cfg.Budget = search.QuickBudget()
+	case "default":
+		cfg.Budget = search.DefaultBudget()
+	default:
+		fmt.Fprintf(os.Stderr, "flexerbench: unknown budget %q (want quick or default)\n", *budget)
+		os.Exit(2)
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"table1", "fig1", "fig8", "fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12", "ablations", "bandwidth", "energy", "chain"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := run(name, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "flexerbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, cfg experiments.Config) error {
+	w := os.Stdout
+	switch name {
+	case "table1":
+		experiments.RenderTable1(w, experiments.Table1(cfg))
+	case "fig1":
+		points, err := experiments.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig1(w, points)
+	case "fig8":
+		rows, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(w, rows)
+	case "fig9a":
+		rows, err := experiments.Fig9a(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9a(w, rows)
+	case "fig9b":
+		rows, err := experiments.Fig9b(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9bc(w, "Figure 9b", rows)
+	case "fig9c":
+		row, err := experiments.Fig9c(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig9bc(w, "Figure 9c", []experiments.Fig9bRow{row})
+	case "fig10":
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig10(w, rows)
+	case "fig11":
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig11(w, rows)
+	case "fig12":
+		rows, err := experiments.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig12(w, rows)
+	case "ablations":
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderAblations(w, rows)
+	case "bandwidth":
+		rows, err := experiments.BandwidthSweep(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderBandwidth(w, rows)
+	case "energy":
+		rows, err := experiments.EnergyEstimate(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderEnergy(w, rows)
+	case "chain":
+		rows, err := experiments.ChainDepthComparison(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderChainDepth(w, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package flexer_test
+
+import (
+	"fmt"
+	"log"
+
+	flexer "github.com/flexer-sched/flexer"
+)
+
+// ExamplePreset shows the Table 1 hardware presets.
+func ExamplePreset() {
+	cfg, err := flexer.Preset("arch5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cfg)
+	// Output: arch5: 4 cores, 256 KiB SPM, 32 B/cycle DMA, 32x32 PEs
+}
+
+// ExampleSearchLayer schedules one small layer out of order and
+// compares it against the best static loop order.
+func ExampleSearchLayer() {
+	cfg, err := flexer.Preset("arch1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer := flexer.NewConv("demo", 14, 14, 64, 64, 3)
+	result, err := flexer.SearchLayer(layer, flexer.Options{
+		Arch:   cfg,
+		Budget: flexer.QuickBudget(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best static order: %s\n", result.BestStaticOrder.Name)
+	fmt.Printf("ooo no slower: %v\n", result.BestOoO.LatencyCycles <= result.BestStatic.LatencyCycles)
+	fmt.Printf("ooo moves no more data: %v\n", result.BestOoO.TrafficBytes() <= result.BestStatic.TrafficBytes())
+	// Output:
+	// best static order: output-stationary
+	// ooo no slower: true
+	// ooo moves no more data: true
+}
+
+// ExampleNetworkByName lists the layers of a built-in network.
+func ExampleNetworkByName() {
+	net, err := flexer.NetworkByName("vgg16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s has %d conv layers; first: %s\n", net.Name, len(net.Layers), net.Layers[0].Name)
+	// Output: vgg16 has 13 conv layers; first: conv1_1
+}

@@ -1,0 +1,49 @@
+// Layersweep reproduces the shape of the paper's Figure 1 for one
+// layer: it schedules every viable tiling out of order and prints the
+// (latency, off-chip traffic) point of each, next to the single best
+// fixed loop-order schedule. Plotting the output shows the OoO points
+// dominating the static reference.
+//
+// Run with:
+//
+//	go run ./examples/layersweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexer "github.com/flexer-sched/flexer"
+)
+
+func main() {
+	cfg, err := flexer.Preset("arch1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := flexer.NetworkByName("vgg16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer, err := net.Scale(2).Layer("conv3_1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budget := flexer.QuickBudget()
+	budget.MaxTilings = 12
+	result, err := flexer.SearchLayer(layer, flexer.Options{Arch: cfg, Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# %s on %s\n", layer, cfg)
+	fmt.Printf("%-16s %-8s %12s %14s\n", "tiling", "kind", "latency", "traffic-bytes")
+	for _, c := range result.Candidates {
+		fmt.Printf("%-16s %-8s %12d %14d\n",
+			c.Factors, "ooo", c.OoO.LatencyCycles, c.OoO.TrafficBytes())
+	}
+	s := result.BestStatic
+	fmt.Printf("%-16s %-8s %12d %14d   <- best fixed loop order (%s)\n",
+		s.Factors, "static*", s.LatencyCycles, s.TrafficBytes(), result.BestStaticOrder.Name)
+}

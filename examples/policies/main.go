@@ -1,0 +1,68 @@
+// Policies compares Flexer's default operation-set priority and
+// memory-management policy against the alternatives of the paper's
+// Table 2 (min-transfer / min-spill priorities, first-fit /
+// smallest-first spilling), reproducing the shape of Figure 12 on one
+// layer: memory management matters more than set selection, and the
+// defaults are a good all-round choice.
+//
+// Run with:
+//
+//	go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexer "github.com/flexer-sched/flexer"
+)
+
+func main() {
+	cfg, err := flexer.Preset("arch1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := flexer.NetworkByName("vgg16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	layer, err := net.Scale(2).Layer("conv3_1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	variants := []struct {
+		name      string
+		priority  flexer.Priority
+		memPolicy flexer.MemPolicy
+	}{
+		{"default", flexer.PriorityDefault, flexer.MemPolicyFlexer},
+		{"priority1 (min transfer)", flexer.PriorityMinTransfer, flexer.MemPolicyFlexer},
+		{"priority2 (min spilling)", flexer.PriorityMinSpill, flexer.MemPolicyFlexer},
+		{"mempolicy1 (first-fit spill)", flexer.PriorityDefault, flexer.MemPolicyFirstFit},
+		{"mempolicy2 (small spill)", flexer.PriorityDefault, flexer.MemPolicySmallestFirst},
+	}
+
+	fmt.Printf("# %s on %s\n", layer, cfg)
+	fmt.Printf("%-30s %12s %14s %14s\n", "variant", "latency", "traffic-bytes", "normalized")
+	var baseline float64
+	for i, v := range variants {
+		result, err := flexer.SearchLayer(layer, flexer.Options{
+			Arch:      cfg,
+			Budget:    flexer.QuickBudget(),
+			Priority:  v.priority,
+			MemPolicy: v.memPolicy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ooo := result.BestOoO
+		metric := ooo.Metric()
+		if i == 0 {
+			baseline = metric
+		}
+		fmt.Printf("%-30s %12d %14d %14.3f\n",
+			v.name, ooo.LatencyCycles, ooo.TrafficBytes(), metric/baseline)
+	}
+	fmt.Println("\n(normalized latency x traffic; lower is better, default = 1.000)")
+}

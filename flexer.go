@@ -1,0 +1,227 @@
+// Package flexer is the public API of the Flexer reproduction: an
+// out-of-order (OoO) scheduler for tiled DNN layers on multi-NPU
+// accelerators with a shared on-chip scratchpad, after
+//
+//	Hyemi Min, Jungyoon Kwon, Bernhard Egger.
+//	"Flexer: Out-of-Order Scheduling for Multi-NPUs", CGO 2023.
+//
+// The package exposes three levels of use:
+//
+//   - ScheduleLayer / ScheduleStatic generate one schedule for a given
+//     layer and tiling (out-of-order, or a fixed loop order).
+//   - SearchLayer runs the paper's Algorithm 1 outer loop: it explores
+//     tilings and dataflows and returns the best OoO schedule next to
+//     the best static loop-order baseline.
+//   - SearchNetwork does the same for every layer of a network and
+//     aggregates end-to-end results.
+//
+// Hardware is described by an Arch (use Preset for the paper's
+// arch1..arch8 of Table 1); workloads by Conv layers or the built-in
+// Network tables (VGG16, ResNet-50, SqueezeNet, YOLOv2).
+package flexer
+
+import (
+	"io"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/loop"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/nets"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+	"github.com/flexer-sched/flexer/internal/trace"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Arch is a multi-NPU hardware configuration.
+	Arch = arch.Config
+	// Conv describes a convolution layer shape.
+	Conv = layer.Conv
+	// Network is a named sequence of convolution layers.
+	Network = nets.Network
+	// Factors are the tile extents of one tiling.
+	Factors = tile.Factors
+	// Schedule is a generated schedule with its cost breakdown.
+	Schedule = sched.Result
+	// Dataflow is a static loop ordering for the baseline scheduler.
+	Dataflow = loop.Dataflow
+	// Options configure a search.
+	Options = search.Options
+	// Budget bounds search effort.
+	Budget = search.Budget
+	// Metric ranks schedules (latency^a x traffic^b).
+	Metric = search.Metric
+	// LayerResult is the outcome of a per-layer search.
+	LayerResult = search.LayerResult
+	// NetworkResult aggregates per-layer results end to end.
+	NetworkResult = search.NetworkResult
+	// Candidate is the outcome of one tiling within a search.
+	Candidate = search.Candidate
+	// Cache memoizes layer searches across calls.
+	Cache = search.Cache
+	// Priority selects the operation-set priority function.
+	Priority = sched.Priority
+	// MemPolicy selects the scratchpad spill policy.
+	MemPolicy = spm.Policy
+)
+
+// Priority functions (Table 2).
+const (
+	// PriorityDefault: memory benefit, then utilization, then memory-op
+	// latency.
+	PriorityDefault = sched.PriorityDefault
+	// PriorityMinTransfer (Priority1): minimal data movement.
+	PriorityMinTransfer = sched.PriorityMinTransfer
+	// PriorityMinSpill (Priority2): minimal spilled data.
+	PriorityMinSpill = sched.PriorityMinSpill
+	// PriorityChainDepth: fixed deepest-chain-first rule (extension,
+	// after the atomic-dataflow style of Zheng et al.).
+	PriorityChainDepth = sched.PriorityChainDepth
+)
+
+// Memory-management policies (Table 2).
+const (
+	// MemPolicyFlexer is Algorithm 2 victim selection.
+	MemPolicyFlexer = spm.PolicyFlexer
+	// MemPolicyFirstFit spills the first block large enough (MemPolicy1).
+	MemPolicyFirstFit = spm.PolicyFirstFit
+	// MemPolicySmallestFirst spills smallest blocks first (MemPolicy2).
+	MemPolicySmallestFirst = spm.PolicySmallestFirst
+)
+
+// Preset returns one of the eight Table 1 hardware configurations
+// ("arch1".."arch8").
+func Preset(name string) (Arch, error) { return arch.Preset(name) }
+
+// Presets returns all Table 1 configurations.
+func Presets() []Arch { return arch.Presets() }
+
+// NewArch builds a custom configuration with the default 32x32 PE
+// geometry at 1 GHz.
+func NewArch(name string, cores int, spmBytes int64, bwBytesPerCycle int) Arch {
+	return arch.New(name, cores, spmBytes, bwBytesPerCycle)
+}
+
+// NewConv returns a square convolution layer with stride 1, same
+// padding and fp16 elements; adjust fields or use WithStride/WithPad
+// for other shapes.
+func NewConv(name string, inH, inW, inC, outC, ker int) Conv {
+	return layer.NewConv(name, inH, inW, inC, outC, ker)
+}
+
+// NetworkByName returns a built-in network table ("vgg16", "resnet50",
+// "squeezenet", "yolov2").
+func NetworkByName(name string) (Network, error) { return nets.ByName(name) }
+
+// Networks returns all built-in network tables.
+func Networks() []Network { return nets.All() }
+
+// Dataflows returns the six canonical stationary loop orders.
+func Dataflows() []Dataflow { return loop.Canonical() }
+
+// AllDataflows returns all 24 loop permutations for exhaustive baseline
+// search.
+func AllDataflows() []Dataflow { return loop.All() }
+
+// DefaultBudget is a broad search budget for CLI-style use;
+// QuickBudget is a small budget for tests and benchmarks.
+func DefaultBudget() Budget { return search.DefaultBudget() }
+
+// QuickBudget returns a small search budget suited to tests and
+// benchmarks.
+func QuickBudget() Budget { return search.QuickBudget() }
+
+// MetricDefault is the paper's ranking metric, latency x traffic.
+func MetricDefault() Metric { return search.MetricDefault() }
+
+// MetricMinTransfer weights traffic far above latency (Figure 9b).
+func MetricMinTransfer() Metric { return search.MetricMinTransfer() }
+
+// NewCache returns an empty layer-search cache.
+func NewCache() *Cache { return search.NewCache() }
+
+// Tilings enumerates the feasible tilings of a layer on an arch under
+// the given budget, as the search would consider them.
+func Tilings(l Conv, a Arch, b Budget) []Factors {
+	return tile.Enumerate(l, tile.EnumLimits{
+		SPMBytes:        a.SPMBytes,
+		Cores:           a.Cores,
+		MaxOps:          b.MaxOps,
+		MaxTilings:      b.MaxTilings,
+		MaxValuesPerDim: b.MaxValuesPerDim,
+	})
+}
+
+// ScheduleLayer generates an out-of-order schedule for one layer under
+// one tiling.
+func ScheduleLayer(l Conv, f Factors, opts Options) (*Schedule, error) {
+	return scheduleWithOrder(l, f, opts, nil)
+}
+
+// ScheduleStatic generates the fixed loop-order schedule of df for one
+// layer under one tiling.
+func ScheduleStatic(l Conv, f Factors, df Dataflow, opts Options) (*Schedule, error) {
+	grid, err := tile.NewGrid(l, f)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(opts.Arch)
+	graph := dfg.Build(grid, m)
+	return sched.Schedule(graph, schedConfig(opts, m, loop.Order(graph, df)))
+}
+
+func scheduleWithOrder(l Conv, f Factors, opts Options, order []int) (*Schedule, error) {
+	grid, err := tile.NewGrid(l, f)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(opts.Arch)
+	graph := dfg.Build(grid, m)
+	return sched.Schedule(graph, schedConfig(opts, m, order))
+}
+
+func schedConfig(opts Options, m model.Model, order []int) sched.Config {
+	return sched.Config{
+		Arch:             opts.Arch,
+		Model:            m,
+		Priority:         opts.Priority,
+		MemPolicy:        opts.MemPolicy,
+		DisableInPlace:   opts.DisableInPlace,
+		DisablePruning:   opts.DisablePruning,
+		MaxReadyWindow:   opts.Budget.MaxReadyWindow,
+		MaxCandidateSets: opts.Budget.MaxCandidateSets,
+		Order:            order,
+	}
+}
+
+// SearchLayer explores tilings and dataflows for one layer and returns
+// the best out-of-order and static schedules.
+func SearchLayer(l Conv, opts Options) (*LayerResult, error) {
+	return search.SearchLayer(l, opts)
+}
+
+// SearchNetwork searches every layer of a network and aggregates
+// end-to-end latency and traffic for both schedulers.
+func SearchNetwork(n Network, opts Options) (*NetworkResult, error) {
+	return search.SearchNetwork(n, opts)
+}
+
+// WriteJSON exports a schedule as indented JSON; full includes the
+// per-op and per-DMA timelines.
+func WriteJSON(w io.Writer, s *Schedule, full bool) error {
+	return trace.WriteJSON(w, s, full)
+}
+
+// WriteCSV exports a schedule's timeline as CSV.
+func WriteCSV(w io.Writer, s *Schedule) error { return trace.WriteCSV(w, s) }
+
+// WriteGantt renders a textual Gantt chart of a schedule: one row per
+// NPU core plus the DMA channel, bucketed to the given width.
+func WriteGantt(w io.Writer, s *Schedule, width int) error {
+	return trace.WriteGantt(w, s, width)
+}

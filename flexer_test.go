@@ -1,0 +1,178 @@
+package flexer_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	flexer "github.com/flexer-sched/flexer"
+)
+
+func arch1(t *testing.T) flexer.Arch {
+	t.Helper()
+	cfg, err := flexer.Preset("arch1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestPresets(t *testing.T) {
+	if len(flexer.Presets()) != 8 {
+		t.Fatalf("%d presets, want 8", len(flexer.Presets()))
+	}
+	if _, err := flexer.Preset("archX"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	custom := flexer.NewArch("mine", 3, 128<<10, 48)
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if custom.Cores != 3 || custom.PERows != 32 {
+		t.Fatalf("custom arch wrong: %+v", custom)
+	}
+}
+
+func TestNetworks(t *testing.T) {
+	ns := flexer.Networks()
+	if len(ns) != 4 {
+		t.Fatalf("%d networks, want 4", len(ns))
+	}
+	for _, n := range ns {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+	if _, err := flexer.NetworkByName("alexnet"); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestDataflows(t *testing.T) {
+	if len(flexer.Dataflows()) != 6 {
+		t.Fatalf("%d canonical dataflows, want 6", len(flexer.Dataflows()))
+	}
+	if len(flexer.AllDataflows()) != 24 {
+		t.Fatalf("%d dataflows, want 24", len(flexer.AllDataflows()))
+	}
+}
+
+func TestTilings(t *testing.T) {
+	cfg := arch1(t)
+	l := flexer.NewConv("l", 28, 28, 64, 64, 3)
+	ts := flexer.Tilings(l, cfg, flexer.QuickBudget())
+	if len(ts) == 0 {
+		t.Fatal("no tilings")
+	}
+}
+
+func TestScheduleLayerAndStatic(t *testing.T) {
+	cfg := arch1(t)
+	l := flexer.NewConv("l", 14, 14, 64, 64, 3)
+	ts := flexer.Tilings(l, cfg, flexer.QuickBudget())
+	if len(ts) == 0 {
+		t.Fatal("no tilings")
+	}
+	opts := flexer.Options{Arch: cfg, Budget: flexer.QuickBudget()}
+	ooo, err := flexer.ScheduleLayer(l, ts[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ooo.LatencyCycles <= 0 || ooo.TrafficBytes() <= 0 {
+		t.Fatalf("degenerate OoO schedule: %+v", ooo)
+	}
+	static, err := flexer.ScheduleStatic(l, ts[0], flexer.Dataflows()[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.LatencyCycles <= 0 {
+		t.Fatalf("degenerate static schedule: %+v", static)
+	}
+}
+
+func TestSearchLayerFacade(t *testing.T) {
+	cfg := arch1(t)
+	l := flexer.NewConv("l", 28, 28, 64, 128, 3)
+	lr, err := flexer.SearchLayer(l, flexer.Options{Arch: cfg, Budget: flexer.QuickBudget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.BestOoO == nil || lr.BestStatic == nil {
+		t.Fatal("missing schedules")
+	}
+	t.Logf("speedup=%.3f reduction=%.3f", lr.Speedup(), lr.TrafficReduction())
+}
+
+func TestSearchNetworkFacade(t *testing.T) {
+	cfg := arch1(t)
+	n, err := flexer.NetworkByName("squeezenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = n.Scale(8)
+	n.Layers = n.Layers[:4]
+	nr, err := flexer.SearchNetwork(n, flexer.Options{
+		Arch: cfg, Budget: flexer.QuickBudget(), Cache: flexer.NewCache(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Speedup() <= 0 {
+		t.Fatalf("degenerate result: %+v", nr)
+	}
+}
+
+func TestPolicyAndPriorityOptions(t *testing.T) {
+	cfg := arch1(t)
+	l := flexer.NewConv("l", 14, 14, 128, 128, 3)
+	for _, p := range []flexer.Priority{flexer.PriorityDefault, flexer.PriorityMinTransfer, flexer.PriorityMinSpill} {
+		for _, m := range []flexer.MemPolicy{flexer.MemPolicyFlexer, flexer.MemPolicyFirstFit, flexer.MemPolicySmallestFirst} {
+			lr, err := flexer.SearchLayer(l, flexer.Options{
+				Arch: cfg, Budget: flexer.QuickBudget(), Priority: p, MemPolicy: m,
+			})
+			if err != nil {
+				t.Fatalf("priority %v, policy %v: %v", p, m, err)
+			}
+			if lr.BestOoO.LatencyCycles <= 0 {
+				t.Errorf("priority %v, policy %v: degenerate", p, m)
+			}
+		}
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	cfg := arch1(t)
+	l := flexer.NewConv("l", 14, 14, 64, 64, 3)
+	lr, err := flexer.SearchLayer(l, flexer.Options{Arch: cfg, Budget: flexer.QuickBudget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := flexer.WriteJSON(&buf, lr.BestOoO, false); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON output")
+	}
+	buf.Reset()
+	if err := flexer.WriteCSV(&buf, lr.BestOoO); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "kind,unit,what,bytes,start,end") {
+		t.Fatalf("unexpected CSV header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	if flexer.MetricDefault().Score(3, 4) != 12 {
+		t.Error("default metric wrong")
+	}
+	// The min-transfer metric must prefer a tenth of the traffic even
+	// at a hundred times the latency.
+	mt := flexer.MetricMinTransfer()
+	if mt.Score(100, 10) >= mt.Score(1, 100) {
+		t.Errorf("min-transfer metric does not prioritize traffic: %f vs %f",
+			mt.Score(100, 10), mt.Score(1, 100))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/flexer-sched/flexer
+
+go 1.22

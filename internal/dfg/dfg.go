@@ -1,0 +1,152 @@
+// Package dfg builds the tiled data-flow graph of a convolution layer
+// that Flexer schedules. Each node is one tiled convolution operation
+//
+//	tCONV: OT(h,w,c) <- IN(h,w,i), WT(c,i) [, OT(h,w,c) as partial sum]
+//
+// at block coordinates (oh, ow, oc, ic). The only true dependencies are
+// the partial-sum chains along the input-channel dimension: op
+// (h,w,c,i) must follow (h,w,c,i-1). All ops with ic == 0 are initially
+// ready, mirroring the "register-to-register" model of the paper in
+// which only computational operations appear in the DFG and memory
+// operations are inserted on the fly by the scheduler.
+package dfg
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Op is one tiled convolution operation.
+type Op struct {
+	// ID is the op's index in Graph.Ops.
+	ID int
+	// OH, OW, OC, IC are the block coordinates.
+	OH, OW, OC, IC int
+	// In and Wt are the input and weight tiles read.
+	In, Wt tile.ID
+	// Out is the output tile written (and read as partial sum when
+	// ReadsPsum).
+	Out tile.ID
+	// ReadsPsum reports whether the op accumulates onto a previously
+	// produced partial sum (IC > 0).
+	ReadsPsum bool
+	// Final reports whether the op produces the finished output tile
+	// (IC == NIC-1); the tile must then reach off-chip memory.
+	Final bool
+	// Cycles is the compute latency from the performance model.
+	Cycles int64
+}
+
+// String renders the op like the paper's figures, e.g.
+// "tCONV17 OT(0,1,2) <- IN(0,1,0) WT(2,0) +PS".
+func (o Op) String() string {
+	s := fmt.Sprintf("tCONV%d %v <- %v %v", o.ID, o.Out, o.In, o.Wt)
+	if o.ReadsPsum {
+		s += " +PS"
+	}
+	return s
+}
+
+// Graph is the tiled DFG of one layer under one tiling.
+type Graph struct {
+	Grid *tile.Grid
+	Ops  []Op
+	// uses[id] is the total number of op accesses to each tile: every
+	// op touches its IN and WT once and its OT once (write or
+	// read-modify-write). Spill heuristics derive remaining-use counts
+	// from these totals.
+	uses map[tile.ID]int
+}
+
+// Build constructs the DFG for grid g with latencies from m. Ops are
+// indexed in canonical (oh, ow, oc, ic) row-major order; the chain
+// predecessor of op x (when x.IC > 0) is always op x-1.
+func Build(g *tile.Grid, m model.Model) *Graph {
+	n := g.NumOps()
+	gr := &Graph{
+		Grid: g,
+		Ops:  make([]Op, 0, n),
+		uses: make(map[tile.ID]int, g.NumTiles(tile.In)+g.NumTiles(tile.Wt)+g.NumTiles(tile.Out)),
+	}
+	l := g.Layer
+	id := 0
+	for oh := 0; oh < g.NOH; oh++ {
+		for ow := 0; ow < g.NOW; ow++ {
+			for oc := 0; oc < g.NOC; oc++ {
+				for ic := 0; ic < g.NIC; ic++ {
+					rows, cols, ochs, ichs := g.OpDims(oh, ow, oc, ic)
+					op := Op{
+						ID: id,
+						OH: oh, OW: ow, OC: oc, IC: ic,
+						In:        g.InTile(oh, ow, ic),
+						Wt:        g.WtTile(oc, ic),
+						Out:       g.OutTile(oh, ow, oc),
+						ReadsPsum: ic > 0,
+						Final:     ic == g.NIC-1,
+						Cycles:    m.ConvCycles(rows, cols, ochs, ichs, l.KerH, l.KerW),
+					}
+					gr.Ops = append(gr.Ops, op)
+					gr.uses[op.In]++
+					gr.uses[op.Wt]++
+					gr.uses[op.Out]++
+					id++
+				}
+			}
+		}
+	}
+	return gr
+}
+
+// Pred returns the index of op i's chain predecessor, or -1 if i has no
+// dependency.
+func (gr *Graph) Pred(i int) int {
+	if gr.Ops[i].IC == 0 {
+		return -1
+	}
+	return i - 1
+}
+
+// Succ returns the index of op i's chain successor, or -1 if i is the
+// last accumulation step of its output tile.
+func (gr *Graph) Succ(i int) int {
+	if gr.Ops[i].Final {
+		return -1
+	}
+	return i + 1
+}
+
+// InitialReady returns the indices of all ops with no dependencies
+// (ic == 0), in canonical order.
+func (gr *Graph) InitialReady() []int {
+	out := make([]int, 0, len(gr.Ops)/gr.Grid.NIC)
+	for i := range gr.Ops {
+		if gr.Ops[i].IC == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalUses returns the total number of op accesses to tile id over the
+// whole layer (0 for tiles not in this grid).
+func (gr *Graph) TotalUses(id tile.ID) int { return gr.uses[id] }
+
+// Uses returns a copy of the access-count table, keyed by tile. The
+// scheduler decrements a copy as ops issue to obtain remaining-use
+// counts for the spill and priority heuristics.
+func (gr *Graph) Uses() map[tile.ID]int {
+	out := make(map[tile.ID]int, len(gr.uses))
+	for k, v := range gr.uses {
+		out[k] = v
+	}
+	return out
+}
+
+// OpAt returns the index of the op at block coordinates (oh, ow, oc,
+// ic).
+func (gr *Graph) OpAt(oh, ow, oc, ic int) int {
+	g := gr.Grid
+	return ((oh*g.NOW+ow)*g.NOC+oc)*g.NIC + ic
+}

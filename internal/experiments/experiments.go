@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section. Each experiment function returns
+// structured rows (so the benchmark harness can assert on them) and has
+// a matching Render function that prints the same rows the paper
+// reports.
+//
+// The default configuration runs the workloads spatially scaled (the
+// networks' layer shapes divided by Scale) under a bounded search
+// budget: the paper's own exhaustive search took ~20 hours per network
+// on the authors' machine, and scaling preserves the compute-to-traffic
+// structure the figures are about. Pass Scale=1 and a larger budget to
+// run closer to full size.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/nets"
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// Config controls experiment size and effort.
+type Config struct {
+	// Scale divides the networks' spatial dimensions (1 = full size).
+	Scale int
+	// LayerScale divides the spatial dimensions of single-layer
+	// experiments (Figures 1, 9b, 10, 11). These run one or two layer
+	// searches, so they can afford larger workloads than whole-network
+	// sweeps — and the reload-count structure of Figure 10 only
+	// appears once layers are big enough to pressure the scratchpad.
+	// 0 means min(Scale, 2).
+	LayerScale int
+	// Budget bounds the per-layer search.
+	Budget search.Budget
+	// Workers is the search parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Cache memoizes layer searches across experiments. A fresh cache
+	// is created when nil.
+	Cache *search.Cache
+}
+
+// Default returns the configuration used by the benchmark harness:
+// networks scaled by 4, quick search budget.
+func Default() Config {
+	return Config{Scale: 4, Budget: search.QuickBudget(), Cache: search.NewCache()}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.LayerScale <= 0 {
+		c.LayerScale = c.Scale
+		if c.LayerScale > 2 {
+			c.LayerScale = 2
+		}
+	}
+	if c.Budget.MaxTilings == 0 && c.Budget.MaxOps == 0 {
+		c.Budget = search.QuickBudget()
+	}
+	if c.Cache == nil {
+		c.Cache = search.NewCache()
+	}
+	return c
+}
+
+func (c Config) options(a arch.Config) search.Options {
+	return search.Options{Arch: a, Budget: c.Budget, Workers: c.Workers, Cache: c.Cache}
+}
+
+func (c Config) network(name string) (nets.Network, error) {
+	n, err := nets.ByName(name)
+	if err != nil {
+		return nets.Network{}, err
+	}
+	return n.Scale(c.Scale), nil
+}
+
+// layerOf resolves one layer for a single-layer experiment, scaled by
+// LayerScale rather than the whole-network Scale.
+func (c Config) layerOf(netName, layerName string) (layer.Conv, error) {
+	n, err := nets.ByName(netName)
+	if err != nil {
+		return layer.Conv{}, err
+	}
+	return n.Scale(c.LayerScale).Layer(layerName)
+}
+
+func preset(name string) (arch.Config, error) { return arch.Preset(name) }
+
+// printf writes one rendered row.
+func printf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// testConfig keeps experiment tests fast: heavy spatial scaling and a
+// tiny search budget.
+func testConfig() Config {
+	b := search.QuickBudget()
+	b.MaxTilings = 3
+	return Config{Scale: 8, LayerScale: 4, Budget: b, Cache: search.NewCache()}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1(testConfig())
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	if rows[0].Arch != "arch1" || rows[0].Cores != 2 || rows[0].SPMKiB != 256 || rows[0].BWBytes != 32 {
+		t.Errorf("arch1 row wrong: %+v", rows[0])
+	}
+	if rows[7].Arch != "arch8" || rows[7].Cores != 4 || rows[7].SPMKiB != 512 || rows[7].BWBytes != 64 {
+		t.Errorf("arch8 row wrong: %+v", rows[7])
+	}
+	var buf bytes.Buffer
+	RenderTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "arch5") {
+		t.Error("render missing arch5")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	points, err := Fig1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := map[string]struct{ ooo, static int }{}
+	for _, p := range points {
+		e := layers[p.Layer]
+		if p.OoO {
+			e.ooo++
+		} else {
+			e.static++
+		}
+		layers[p.Layer] = e
+		if p.Latency <= 0 || p.TrafficBytes <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	if len(layers) != 2 {
+		t.Fatalf("points cover %d layers, want 2", len(layers))
+	}
+	for name, e := range layers {
+		if e.ooo < 1 || e.static != 1 {
+			t.Errorf("%s: %d ooo points, %d static points", name, e.ooo, e.static)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, points)
+	if !strings.Contains(buf.String(), "static*") {
+		t.Error("render missing static reference point")
+	}
+}
+
+func TestFig8Subset(t *testing.T) {
+	rows, err := Fig8Subset(testConfig(), []string{"vgg16"}, []string{"arch1", "arch5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.Reduction <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// The OoO scheduler searches a superset of orders; end to end
+		// it must not lose badly to the static baseline.
+		if r.Speedup < 0.9 {
+			t.Errorf("%s/%s: speedup %.3f below sanity floor", r.Network, r.Arch, r.Speedup)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig8(&buf, rows)
+	if !strings.Contains(buf.String(), "vgg16") {
+		t.Error("render missing network")
+	}
+}
+
+func TestFig9a(t *testing.T) {
+	rows, err := Fig9a(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("%d rows, want 13 VGG16 layers", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 || r.Reduction <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+}
+
+func TestFig9bAnd9c(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig9b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	row, err := Fig9c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(rows, row)
+	for _, r := range all {
+		if r.DefaultSpeedup <= 0 || r.MinTransSpeedup <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// The transfer-weighted metric must reduce traffic at least as
+		// much as the default metric does.
+		if r.MinTransReduct < r.DefaultReduction-1e-9 {
+			t.Errorf("%s: min-transfer reduction %.3f below default %.3f",
+				r.Workload, r.MinTransReduct, r.DefaultReduction)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig9bc(&buf, "Figure 9b", rows)
+	if !strings.Contains(buf.String(), "conv3_1") {
+		t.Error("render missing layer")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rows, err := Fig10(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 layers x 3 schedules x 3 kinds.
+	if len(rows) != 18 {
+		t.Fatalf("%d rows, want 18", len(rows))
+	}
+	byKey := map[string]Fig10Row{}
+	for _, r := range rows {
+		byKey[r.Layer+"/"+r.Schedule+"/"+r.Kind] = r
+		if r.Schedule == "on-chip" && r.MaxMoves != 1 {
+			t.Errorf("on-chip ideal moves tiles %d times", r.MaxMoves)
+		}
+	}
+	// The OoO schedule moves at least as much data as the on-chip
+	// ideal of its own tiling (the static bar may use a different
+	// tiling, so it is not bounded by this particular ideal).
+	for _, layer := range []string{"vgg16/conv4_2", "resnet50/conv_3_1_1"} {
+		for _, kind := range []string{"IN", "WT"} {
+			ideal := byKey[layer+"/on-chip/"+kind].Bytes
+			if got := byKey[layer+"/flexer/"+kind].Bytes; got < ideal {
+				t.Errorf("%s flexer %s: %d bytes below ideal %d", layer, kind, got, ideal)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig10(&buf, rows)
+	if !strings.Contains(buf.String(), "on-chip") {
+		t.Error("render missing on-chip bars")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	rows, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := map[string]int{}
+	for _, r := range rows {
+		schedules[r.Schedule] += r.Sets
+		if r.Sets <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if schedules["static"] == 0 || schedules["flexer"] == 0 {
+		t.Fatalf("missing schedules: %v", schedules)
+	}
+	var buf bytes.Buffer
+	RenderFig11(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFig12Subset(t *testing.T) {
+	rows, err := Fig12Subset(testConfig(), []string{"squeezenet"}, []string{"arch1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig12Variants()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(Fig12Variants()))
+	}
+	foundDefault := false
+	for _, r := range rows {
+		if r.Normalized <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.Variant == "default" {
+			foundDefault = true
+			if r.Normalized != 1.0 {
+				t.Errorf("default not normalized to 1.0: %f", r.Normalized)
+			}
+		}
+	}
+	if !foundDefault {
+		t.Error("no default row")
+	}
+	var buf bytes.Buffer
+	RenderFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "first-fit") {
+		t.Error("render missing mempolicy1")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.OnMetric <= 0 || r.OffMetric <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderAblations(&buf, rows)
+	if !strings.Contains(buf.String(), "dataflow-pruning") {
+		t.Error("render missing pruning row")
+	}
+}

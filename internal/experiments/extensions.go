@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"io"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/stats"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Extension experiments beyond the paper's figures: a bandwidth
+// sensitivity sweep, an energy estimate, and the literature-inspired
+// chain-depth priority.
+
+// BandwidthRow is one point of the bandwidth sweep.
+type BandwidthRow struct {
+	BWBytesPerCycle int
+	Speedup         float64
+	Reduction       float64
+}
+
+// BandwidthSweep schedules one layer across off-chip bandwidths on a
+// 4-core machine. The character of the OoO advantage shifts with
+// bandwidth: when the DMA channel is the bottleneck the OoO schedule
+// buys traffic reduction, and as the machine becomes compute-bound the
+// advantage moves to latency (wider, better-overlapped issue).
+func BandwidthSweep(cfg Config) ([]BandwidthRow, error) {
+	cfg = cfg.withDefaults()
+	l, err := cfg.layerOf("vgg16", "conv3_1")
+	if err != nil {
+		return nil, err
+	}
+	var rows []BandwidthRow
+	for _, bw := range []int{8, 16, 32, 64, 128} {
+		a := arch.New("sweep", 4, arch.KiB(256), bw)
+		lr, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BandwidthRow{
+			BWBytesPerCycle: bw,
+			Speedup:         lr.Speedup(),
+			Reduction:       lr.TrafficReduction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderBandwidth prints the sweep.
+func RenderBandwidth(w io.Writer, rows []BandwidthRow) {
+	printf(w, "Extension: OoO vs static across off-chip bandwidth (vgg16/conv3_1, 4 cores, 256 KiB)\n")
+	printf(w, "%10s %10s %11s\n", "B/cycle", "speedup", "reduction")
+	for _, r := range rows {
+		printf(w, "%10d %10.3f %11.3f\n", r.BWBytesPerCycle, r.Speedup, r.Reduction)
+	}
+}
+
+// EnergyRow is the estimated energy of one schedule pair.
+type EnergyRow struct {
+	Layer      string
+	OoOMicroJ  float64
+	StaticMuJ  float64
+	Saving     float64
+	TrafficRed float64
+	LatSpeedup float64
+}
+
+// EnergyEstimate applies the first-order energy model to the Figure 10
+// layers: traffic reductions translate almost one-to-one into DRAM
+// energy savings, which is the efficiency argument of the paper's
+// introduction.
+func EnergyEstimate(cfg Config) ([]EnergyRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch6")
+	if err != nil {
+		return nil, err
+	}
+	em := stats.DefaultEnergyModel()
+	var rows []EnergyRow
+	for _, wl := range []struct{ net, layer string }{
+		{"vgg16", "conv4_2"},
+		{"resnet50", "conv_3_1_1"},
+	} {
+		l, err := cfg.layerOf(wl.net, wl.layer)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		oooGrid, err := tile.NewGrid(l, lr.BestOoO.Factors)
+		if err != nil {
+			return nil, err
+		}
+		staticGrid, err := tile.NewGrid(l, lr.BestStatic.Factors)
+		if err != nil {
+			return nil, err
+		}
+		cmp := em.CompareEnergy(oooGrid, staticGrid, lr.BestOoO, lr.BestStatic)
+		rows = append(rows, EnergyRow{
+			Layer:      wl.net + "/" + wl.layer,
+			OoOMicroJ:  cmp.OoOPJ / 1e6,
+			StaticMuJ:  cmp.StaticPJ / 1e6,
+			Saving:     cmp.Saving,
+			TrafficRed: lr.TrafficReduction(),
+			LatSpeedup: lr.Speedup(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderEnergy prints the estimate.
+func RenderEnergy(w io.Writer, rows []EnergyRow) {
+	printf(w, "Extension: first-order energy estimate (45 nm constants, arch6)\n")
+	printf(w, "%-22s %12s %12s %8s %10s %9s\n", "layer", "ooo (uJ)", "static (uJ)", "saving", "reduction", "speedup")
+	for _, r := range rows {
+		printf(w, "%-22s %12.1f %12.1f %8.3f %10.3f %9.3f\n",
+			r.Layer, r.OoOMicroJ, r.StaticMuJ, r.Saving, r.TrafficRed, r.LatSpeedup)
+	}
+}
+
+// ChainDepthRow compares the memory-aware default priority against the
+// fixed chain-depth rule.
+type ChainDepthRow struct {
+	Layer      string
+	DefaultM   float64
+	ChainM     float64
+	ChainVsDef float64 // >1 means the memory-aware priority wins
+}
+
+// ChainDepthComparison measures how much inspecting the actual memory
+// status (Flexer's priority) buys over a fixed progression rule in the
+// style of atomic-dataflow orchestration. The fixed rule can win on
+// psum-dominated layers (finishing chains early empties dirty space),
+// which is why the paper's related work argues for combining priority
+// rules with the actual memory state rather than either alone.
+func ChainDepthComparison(cfg Config) ([]ChainDepthRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch5")
+	if err != nil {
+		return nil, err
+	}
+	var rows []ChainDepthRow
+	for _, wl := range []struct{ net, layer string }{
+		{"vgg16", "conv3_1"},
+		{"vgg16", "conv4_2"},
+	} {
+		l, err := cfg.layerOf(wl.net, wl.layer)
+		if err != nil {
+			return nil, err
+		}
+		def, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.options(a)
+		opts.Priority = sched.PriorityChainDepth
+		chain, err := search.SearchLayer(l, opts)
+		if err != nil {
+			return nil, err
+		}
+		dm := def.BestOoO.Metric()
+		cm := chain.BestOoO.Metric()
+		rows = append(rows, ChainDepthRow{
+			Layer:      wl.net + "/" + wl.layer,
+			DefaultM:   dm,
+			ChainM:     cm,
+			ChainVsDef: cm / dm,
+		})
+	}
+	return rows, nil
+}
+
+// RenderChainDepth prints the comparison.
+func RenderChainDepth(w io.Writer, rows []ChainDepthRow) {
+	printf(w, "Extension: memory-aware priority vs fixed chain-depth rule (metric = latency x traffic)\n")
+	printf(w, "%-22s %14s %14s %12s\n", "layer", "default", "chain-depth", "chain/def")
+	for _, r := range rows {
+		printf(w, "%-22s %14.4g %14.4g %12.3f\n", r.Layer, r.DefaultM, r.ChainM, r.ChainVsDef)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBandwidthSweep(t *testing.T) {
+	cfg := testConfig()
+	rows, err := BandwidthSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for i, r := range rows {
+		if r.Speedup <= 0 || r.Reduction <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if i > 0 && r.BWBytesPerCycle <= rows[i-1].BWBytesPerCycle {
+			t.Error("bandwidths not increasing")
+		}
+	}
+	var buf bytes.Buffer
+	RenderBandwidth(&buf, rows)
+	if !strings.Contains(buf.String(), "B/cycle") {
+		t.Error("render missing header")
+	}
+}
+
+func TestEnergyEstimate(t *testing.T) {
+	cfg := testConfig()
+	rows, err := EnergyEstimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.OoOMicroJ <= 0 || r.StaticMuJ <= 0 || r.Saving <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	RenderEnergy(&buf, rows)
+	if !strings.Contains(buf.String(), "uJ") {
+		t.Error("render missing units")
+	}
+}
+
+func TestChainDepthComparison(t *testing.T) {
+	cfg := testConfig()
+	rows, err := ChainDepthComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.DefaultM <= 0 || r.ChainM <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// The fixed rule must never beat the memory-aware priority by
+		// a wide margin (it ignores the scratchpad entirely).
+		if r.ChainVsDef < 0.8 {
+			t.Errorf("%s: chain-depth rule beat memory-aware priority by %0.3f", r.Layer, r.ChainVsDef)
+		}
+	}
+	var buf bytes.Buffer
+	RenderChainDepth(&buf, rows)
+	if !strings.Contains(buf.String(), "chain-depth") {
+		t.Error("render missing header")
+	}
+}

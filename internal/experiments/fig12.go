@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/spm"
+)
+
+// Fig12Variant names one priority/memory-policy combination of Table 2.
+type Fig12Variant struct {
+	Name      string
+	Priority  sched.Priority
+	MemPolicy spm.Policy
+}
+
+// Fig12Variants returns the configurations compared in Figure 12: the
+// default, the two alternative priority functions (Priority1/2), and
+// the two alternative memory-management policies (MemPolicy1/2).
+func Fig12Variants() []Fig12Variant {
+	return []Fig12Variant{
+		{Name: "default", Priority: sched.PriorityDefault, MemPolicy: spm.PolicyFlexer},
+		{Name: "priority1-min-transfer", Priority: sched.PriorityMinTransfer, MemPolicy: spm.PolicyFlexer},
+		{Name: "priority2-min-spill", Priority: sched.PriorityMinSpill, MemPolicy: spm.PolicyFlexer},
+		{Name: "mempolicy1-first-fit", Priority: sched.PriorityDefault, MemPolicy: spm.PolicyFirstFit},
+		{Name: "mempolicy2-small-spill", Priority: sched.PriorityDefault, MemPolicy: spm.PolicySmallestFirst},
+	}
+}
+
+// Fig12Row is the latency x traffic metric of one variant on one
+// workload, normalized to the default variant (lower is better; 1.0 is
+// the default).
+type Fig12Row struct {
+	Network    string
+	Arch       string
+	Variant    string
+	Normalized float64
+}
+
+// Fig12 reproduces Figure 12: alternative priority functions and memory
+// policies, normalized to Flexer's defaults, on two networks and two
+// architectures.
+func Fig12(cfg Config) ([]Fig12Row, error) {
+	return Fig12Subset(cfg, []string{"vgg16", "squeezenet"}, []string{"arch1", "arch6"})
+}
+
+// Fig12Subset runs the ablation on chosen networks and architectures.
+func Fig12Subset(cfg Config, networks, archs []string) ([]Fig12Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig12Row
+	for _, netName := range networks {
+		n, err := cfg.network(netName)
+		if err != nil {
+			return nil, err
+		}
+		for _, archName := range archs {
+			a, err := preset(archName)
+			if err != nil {
+				return nil, err
+			}
+			var baseline float64
+			variantRows := make([]Fig12Row, 0, len(Fig12Variants()))
+			for _, v := range Fig12Variants() {
+				opts := cfg.options(a)
+				opts.Priority = v.Priority
+				opts.MemPolicy = v.MemPolicy
+				nr, err := search.SearchNetwork(n, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s (%s): %w", netName, archName, v.Name, err)
+				}
+				oooLat, _, oooTraffic, _ := nr.Totals()
+				metric := float64(oooLat) * float64(oooTraffic)
+				if v.Name == "default" {
+					baseline = metric
+				}
+				variantRows = append(variantRows, Fig12Row{
+					Network: netName, Arch: archName, Variant: v.Name, Normalized: metric,
+				})
+			}
+			for i := range variantRows {
+				variantRows[i].Normalized /= baseline
+			}
+			rows = append(rows, variantRows...)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig12 prints the normalized ablation.
+func RenderFig12(w io.Writer, rows []Fig12Row) {
+	printf(w, "Figure 12: priority and memory-policy variants, latency x traffic normalized to default (lower is better)\n")
+	printf(w, "%-12s %-8s %-24s %12s\n", "network", "arch", "variant", "normalized")
+	for _, r := range rows {
+		printf(w, "%-12s %-8s %-24s %12.3f\n", r.Network, r.Arch, r.Variant, r.Normalized)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Additional ablations for design choices DESIGN.md calls out (not in
+// the paper's figures but useful for understanding the implementation).
+
+// AblationRow compares a scheduler feature switched on and off.
+type AblationRow struct {
+	Feature    string
+	Workload   string
+	OnMetric   float64
+	OffMetric  float64
+	OffVsOn    float64 // off / on (>1 means the feature helps)
+	OnSetEvals int
+	OffSetEval int
+}
+
+// Ablations measures the dataflow-map pruning and in-place replacement
+// features on one layer.
+func Ablations(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch5")
+	if err != nil {
+		return nil, err
+	}
+	l, err := cfg.layerOf("vgg16", "conv4_2")
+	if err != nil {
+		return nil, err
+	}
+	base, err := search.SearchLayer(l, cfg.options(a))
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, f := range []struct {
+		name   string
+		mutate func(*search.Options)
+	}{
+		{"dataflow-pruning", func(o *search.Options) { o.DisablePruning = true }},
+		{"in-place-replacement", func(o *search.Options) { o.DisableInPlace = true }},
+	} {
+		opts := cfg.options(a)
+		opts.Cache = nil // options differ; do not pollute the shared cache
+		f.mutate(&opts)
+		off, err := search.SearchLayer(l, opts)
+		if err != nil {
+			return nil, err
+		}
+		onM := base.BestOoO.Metric()
+		offM := off.BestOoO.Metric()
+		rows = append(rows, AblationRow{
+			Feature:    f.name,
+			Workload:   "vgg16/" + l.Name,
+			OnMetric:   onM,
+			OffMetric:  offM,
+			OffVsOn:    offM / onM,
+			OnSetEvals: base.BestOoO.SetsEvaluated,
+			OffSetEval: off.BestOoO.SetsEvaluated,
+		})
+	}
+	return rows, nil
+}
+
+// RenderAblations prints the feature ablations.
+func RenderAblations(w io.Writer, rows []AblationRow) {
+	printf(w, "Ablations: scheduler features on vs off (metric = latency x traffic)\n")
+	printf(w, "%-22s %-16s %12s %12s %8s %10s %10s\n",
+		"feature", "workload", "on", "off", "off/on", "evals-on", "evals-off")
+	for _, r := range rows {
+		printf(w, "%-22s %-16s %12.4g %12.4g %8.3f %10d %10d\n",
+			r.Feature, r.Workload, r.OnMetric, r.OffMetric, r.OffVsOn, r.OnSetEvals, r.OffSetEval)
+	}
+}

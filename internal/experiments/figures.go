@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/stats"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// ---------------------------------------------------------------------
+// Table 1: hardware configurations.
+
+// Table1Row is one hardware configuration.
+type Table1Row struct {
+	Arch    string
+	Cores   int
+	SPMKiB  int64
+	BWBytes int
+}
+
+// Table1 reproduces Table 1: the eight evaluation configurations.
+func Table1(cfg Config) []Table1Row {
+	var rows []Table1Row
+	for _, name := range []string{"arch1", "arch2", "arch3", "arch4", "arch5", "arch6", "arch7", "arch8"} {
+		a, err := preset(name)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, Table1Row{Arch: a.Name, Cores: a.Cores, SPMKiB: a.SPMBytes / 1024, BWBytes: a.BandwidthBytesPerCycle})
+	}
+	return rows
+}
+
+// RenderTable1 prints the rows like the paper's Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	printf(w, "Table 1: hardware configurations\n")
+	printf(w, "%-8s %8s %16s %10s\n", "arch", "cores", "on-chip (KiB)", "BW (B/cyc)")
+	for _, r := range rows {
+		printf(w, "%-8s %8d %16d %10d\n", r.Arch, r.Cores, r.SPMKiB, r.BWBytes)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: latency vs off-chip traffic over all tilings, OoO points
+// against the single best fixed loop order.
+
+// Fig1Point is one tiling's schedule cost.
+type Fig1Point struct {
+	Layer        string
+	Tiling       tile.Factors
+	OoO          bool // false: the best-static reference point
+	Latency      int64
+	TrafficBytes int64
+}
+
+// Fig1 reproduces Figure 1 on a two-NPU system: for one ResNet50 layer
+// and one VGG16 layer, the OoO schedule of every viable tiling (blue
+// dots) plus the overall best fixed loop-order schedule (yellow dot).
+func Fig1(cfg Config) ([]Fig1Point, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch1")
+	if err != nil {
+		return nil, err
+	}
+	workloads := []struct{ net, layer string }{
+		{"resnet50", "conv_3_1_2"},
+		{"vgg16", "conv3_1"},
+	}
+	var points []Fig1Point
+	for _, wl := range workloads {
+		l, err := cfg.layerOf(wl.net, wl.layer)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		label := wl.net + "/" + wl.layer
+		for _, c := range lr.Candidates {
+			points = append(points, Fig1Point{
+				Layer: label, Tiling: c.Factors, OoO: true,
+				Latency: c.OoO.LatencyCycles, TrafficBytes: c.OoO.TrafficBytes(),
+			})
+		}
+		points = append(points, Fig1Point{
+			Layer: label, Tiling: lr.BestStatic.Factors, OoO: false,
+			Latency: lr.BestStatic.LatencyCycles, TrafficBytes: lr.BestStatic.TrafficBytes(),
+		})
+	}
+	return points, nil
+}
+
+// RenderFig1 prints the scatter series.
+func RenderFig1(w io.Writer, points []Fig1Point) {
+	printf(w, "Figure 1: latency vs off-chip traffic per tiling (2-NPU arch1)\n")
+	printf(w, "%-24s %-14s %-7s %12s %14s\n", "layer", "tiling", "kind", "latency", "traffic (B)")
+	for _, p := range points {
+		kind := "ooo"
+		if !p.OoO {
+			kind = "static*"
+		}
+		printf(w, "%-24s %-14s %-7s %12d %14d\n", p.Layer, p.Tiling, kind, p.Latency, p.TrafficBytes)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: end-to-end speedup and traffic reduction over networks and
+// architectures.
+
+// Fig8Row is one (network, arch) end-to-end comparison.
+type Fig8Row struct {
+	Network   string
+	Arch      string
+	Speedup   float64 // static latency / OoO latency
+	Reduction float64 // static traffic / OoO traffic
+}
+
+// Fig8 reproduces Figure 8: the four networks on the eight
+// architectures, OoO versus best static loop order.
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	return fig8With(cfg, nets4(), archNames())
+}
+
+// Fig8Subset runs Figure 8 on a subset of networks and architectures
+// (used by quick benchmarks).
+func Fig8Subset(cfg Config, networks, archs []string) ([]Fig8Row, error) {
+	return fig8With(cfg, networks, archs)
+}
+
+func nets4() []string { return []string{"vgg16", "resnet50", "squeezenet", "yolov2"} }
+
+func archNames() []string {
+	return []string{"arch1", "arch2", "arch3", "arch4", "arch5", "arch6", "arch7", "arch8"}
+}
+
+func fig8With(cfg Config, networks, archs []string) ([]Fig8Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig8Row
+	for _, netName := range networks {
+		n, err := cfg.network(netName)
+		if err != nil {
+			return nil, err
+		}
+		for _, archName := range archs {
+			a, err := preset(archName)
+			if err != nil {
+				return nil, err
+			}
+			nr, err := search.SearchNetwork(n, cfg.options(a))
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", netName, archName, err)
+			}
+			rows = append(rows, Fig8Row{
+				Network: netName, Arch: archName,
+				Speedup: nr.Speedup(), Reduction: nr.TrafficReduction(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig8 prints the end-to-end comparison.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	printf(w, "Figure 8: end-to-end speedup and data-transfer reduction vs best static\n")
+	printf(w, "%-12s %-8s %10s %11s\n", "network", "arch", "speedup", "reduction")
+	for _, r := range rows {
+		printf(w, "%-12s %-8s %10.3f %11.3f\n", r.Network, r.Arch, r.Speedup, r.Reduction)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 9a: per-layer speedup and reduction for VGG16 on arch5.
+
+// Fig9aRow is one layer's comparison.
+type Fig9aRow struct {
+	Layer     string
+	Speedup   float64
+	Reduction float64
+}
+
+// Fig9a reproduces Figure 9(a): VGG16 on arch5 layer by layer.
+func Fig9a(cfg Config) ([]Fig9aRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch5")
+	if err != nil {
+		return nil, err
+	}
+	n, err := cfg.network("vgg16")
+	if err != nil {
+		return nil, err
+	}
+	nr, err := search.SearchNetwork(n, cfg.options(a))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9aRow, len(nr.Layers))
+	for i, lr := range nr.Layers {
+		rows[i] = Fig9aRow{Layer: lr.Layer.Name, Speedup: lr.Speedup(), Reduction: lr.TrafficReduction()}
+	}
+	return rows, nil
+}
+
+// RenderFig9a prints the per-layer series.
+func RenderFig9a(w io.Writer, rows []Fig9aRow) {
+	printf(w, "Figure 9a: VGG16 on arch5, layer by layer\n")
+	printf(w, "%-12s %10s %11s\n", "layer", "speedup", "reduction")
+	for _, r := range rows {
+		printf(w, "%-12s %10.3f %11.3f\n", r.Layer, r.Speedup, r.Reduction)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 9b/9c: weighting data-transfer reduction above latency.
+
+// Fig9bRow compares the default and transfer-weighted metrics on one
+// layer (9b) or the whole network (9c).
+type Fig9bRow struct {
+	Workload         string
+	DefaultSpeedup   float64
+	DefaultReduction float64
+	MinTransSpeedup  float64
+	MinTransReduct   float64
+}
+
+// Fig9b reproduces Figure 9(b): layers conv3_1 and conv3_2 of VGG16 on
+// arch5, scheduled with the default metric and with the metric that
+// weights data transfers far above latency. Both variants are
+// normalized against the single best static loop-order schedule found
+// under the default metric, as in the paper.
+func Fig9b(cfg Config) ([]Fig9bRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch5")
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9bRow
+	for _, name := range []string{"conv3_1", "conv3_2"} {
+		l, err := cfg.layerOf("vgg16", name)
+		if err != nil {
+			return nil, err
+		}
+		def, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		opts := cfg.options(a)
+		opts.Metric = search.MetricMinTransfer()
+		lean, err := search.SearchLayer(l, opts)
+		if err != nil {
+			return nil, err
+		}
+		base := def.BestStatic
+		rows = append(rows, Fig9bRow{
+			Workload:         "vgg16/" + name,
+			DefaultSpeedup:   stats.Ratio(base.LatencyCycles, def.BestOoO.LatencyCycles),
+			DefaultReduction: stats.Ratio(base.TrafficBytes(), def.BestOoO.TrafficBytes()),
+			MinTransSpeedup:  stats.Ratio(base.LatencyCycles, lean.BestOoO.LatencyCycles),
+			MinTransReduct:   stats.Ratio(base.TrafficBytes(), lean.BestOoO.TrafficBytes()),
+		})
+	}
+	return rows, nil
+}
+
+// Fig9c reproduces Figure 9(c): the same comparison end-to-end for
+// VGG16 on arch5, against the default-metric static baseline.
+func Fig9c(cfg Config) (Fig9bRow, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch5")
+	if err != nil {
+		return Fig9bRow{}, err
+	}
+	n, err := cfg.network("vgg16")
+	if err != nil {
+		return Fig9bRow{}, err
+	}
+	def, err := search.SearchNetwork(n, cfg.options(a))
+	if err != nil {
+		return Fig9bRow{}, err
+	}
+	opts := cfg.options(a)
+	opts.Metric = search.MetricMinTransfer()
+	lean, err := search.SearchNetwork(n, opts)
+	if err != nil {
+		return Fig9bRow{}, err
+	}
+	defOoOLat, staticLat, defOoOT, staticT := def.Totals()
+	leanOoOLat, _, leanOoOT, _ := lean.Totals()
+	return Fig9bRow{
+		Workload:         "vgg16 (end-to-end)",
+		DefaultSpeedup:   stats.Ratio(staticLat, defOoOLat),
+		DefaultReduction: stats.Ratio(staticT, defOoOT),
+		MinTransSpeedup:  stats.Ratio(staticLat, leanOoOLat),
+		MinTransReduct:   stats.Ratio(staticT, leanOoOT),
+	}, nil
+}
+
+// RenderFig9bc prints the metric comparison.
+func RenderFig9bc(w io.Writer, title string, rows []Fig9bRow) {
+	printf(w, "%s: default metric vs min-transfer metric (vs best static)\n", title)
+	printf(w, "%-22s %10s %11s | %10s %11s\n", "workload", "speedup", "reduction", "speedup'", "reduction'")
+	for _, r := range rows {
+		printf(w, "%-22s %10.3f %11.3f | %10.3f %11.3f\n",
+			r.Workload, r.DefaultSpeedup, r.DefaultReduction, r.MinTransSpeedup, r.MinTransReduct)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: per-data-type traffic and reload counts.
+
+// Fig10Row is the movement profile of one schedule for one tile kind.
+type Fig10Row struct {
+	Layer     string
+	Schedule  string // "on-chip", "flexer", "static"
+	Kind      string
+	Bytes     int64
+	MaxMoves  int
+	Histogram map[int]int
+}
+
+// Fig10 reproduces Figure 10: the per-type amount of transferred data
+// and reload counts for VGG16 conv4_2 and ResNet50 conv_3_1_1 on arch6,
+// comparing the unlimited-memory ideal, Flexer, and the best static
+// loop order.
+func Fig10(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch6")
+	if err != nil {
+		return nil, err
+	}
+	workloads := []struct{ net, layer string }{
+		{"vgg16", "conv4_2"},
+		{"resnet50", "conv_3_1_1"},
+	}
+	var rows []Fig10Row
+	for _, wl := range workloads {
+		l, err := cfg.layerOf(wl.net, wl.layer)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := search.SearchLayer(l, cfg.options(a))
+		if err != nil {
+			return nil, err
+		}
+		label := wl.net + "/" + wl.layer
+		// The on-chip ideal (every tile moved at most once) is shown
+		// for the OoO schedule's tiling, like the paper's single
+		// "on-chip" bar; note the static schedule may use a different
+		// tiling, so its floor differs slightly.
+		grid, err := tile.NewGrid(l, lr.BestOoO.Factors)
+		if err != nil {
+			return nil, err
+		}
+		ideal := stats.OnChipIdeal(grid)
+		for k := 0; k < tile.NumKinds; k++ {
+			rows = append(rows, Fig10Row{
+				Layer: label, Schedule: "on-chip", Kind: tile.Kind(k).String(),
+				Bytes: ideal[k], MaxMoves: 1, Histogram: map[int]int{1: grid.NumTiles(tile.Kind(k))},
+			})
+		}
+		for k, m := range stats.Movements(lr.BestOoO) {
+			rows = append(rows, Fig10Row{
+				Layer: label, Schedule: "flexer", Kind: tile.Kind(k).String(),
+				Bytes: m.TotalBytes, MaxMoves: m.MaxMoves, Histogram: m.ReloadHistogram,
+			})
+		}
+		for k, m := range stats.Movements(lr.BestStatic) {
+			rows = append(rows, Fig10Row{
+				Layer: label, Schedule: "static", Kind: tile.Kind(k).String(),
+				Bytes: m.TotalBytes, MaxMoves: m.MaxMoves, Histogram: m.ReloadHistogram,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig10 prints the per-kind movement profile.
+func RenderFig10(w io.Writer, rows []Fig10Row) {
+	printf(w, "Figure 10: per-type transferred data and reload counts (arch6)\n")
+	printf(w, "%-22s %-8s %-4s %12s %9s  %s\n", "layer", "schedule", "type", "bytes", "max-moves", "moves:tiles")
+	for _, r := range rows {
+		printf(w, "%-22s %-8s %-4s %12d %9d  %s\n",
+			r.Layer, r.Schedule, r.Kind, r.Bytes, r.MaxMoves, histString(r.Histogram))
+	}
+}
+
+func histString(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%dx:%d", k, h[k])
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: spatial (inter-NPU) data reuse patterns.
+
+// Fig11Row counts the operation sets exhibiting one reuse pattern.
+type Fig11Row struct {
+	Layer    string
+	Schedule string
+	Pattern  string
+	Sets     int
+}
+
+// Fig11 reproduces Figure 11: the distribution of per-set spatial reuse
+// patterns for one layer, static versus Flexer. Static loop orders show
+// essentially one sharing pattern; Flexer mixes several.
+func Fig11(cfg Config) ([]Fig11Row, error) {
+	cfg = cfg.withDefaults()
+	a, err := preset("arch6")
+	if err != nil {
+		return nil, err
+	}
+	l, err := cfg.layerOf("vgg16", "conv4_2")
+	if err != nil {
+		return nil, err
+	}
+	lr, err := search.SearchLayer(l, cfg.options(a))
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for pattern, n := range stats.ReusePatterns(lr.BestStatic) {
+		rows = append(rows, Fig11Row{Layer: l.Name, Schedule: "static", Pattern: pattern, Sets: n})
+	}
+	for pattern, n := range stats.ReusePatterns(lr.BestOoO) {
+		rows = append(rows, Fig11Row{Layer: l.Name, Schedule: "flexer", Pattern: pattern, Sets: n})
+	}
+	// The metric-best tiling is not always the most illustrative one;
+	// also report the OoO candidate with the most distinct sharing
+	// patterns, which is the behaviour Figure 11 visualizes.
+	best := lr.BestOoO
+	for _, c := range lr.Candidates {
+		if stats.DistinctPatterns(c.OoO) > stats.DistinctPatterns(best) {
+			best = c.OoO
+		}
+	}
+	if best != lr.BestOoO {
+		for pattern, n := range stats.ReusePatterns(best) {
+			rows = append(rows, Fig11Row{Layer: l.Name, Schedule: "flexer-alt", Pattern: pattern, Sets: n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Schedule != rows[j].Schedule {
+			return rows[i].Schedule > rows[j].Schedule // static first
+		}
+		if rows[i].Sets != rows[j].Sets {
+			return rows[i].Sets > rows[j].Sets
+		}
+		return rows[i].Pattern < rows[j].Pattern
+	})
+	return rows, nil
+}
+
+// RenderFig11 prints the reuse-pattern distribution.
+func RenderFig11(w io.Writer, rows []Fig11Row) {
+	printf(w, "Figure 11: spatial data-reuse patterns between NPUs (arch6)\n")
+	printf(w, "%-12s %-8s %-10s %8s\n", "layer", "schedule", "pattern", "sets")
+	for _, r := range rows {
+		printf(w, "%-12s %-8s %-10s %8d\n", r.Layer, r.Schedule, r.Pattern, r.Sets)
+	}
+}

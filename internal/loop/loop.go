@@ -1,0 +1,149 @@
+// Package loop generates the static loop-order (fixed-dataflow)
+// schedules that Flexer is compared against. A dataflow is a permutation
+// of the four tile loops (output channel, output row, output column,
+// input channel); iterating the loops in that order yields a fixed
+// operation sequence whose data reuse follows the classic stationary
+// patterns: output/partial-sum-stationary when the input-channel loop is
+// innermost, input-stationary when the output-channel loop is innermost
+// under the spatial loops, weight-stationary when the spatial loops are
+// innermost, and so on.
+//
+// The best static baseline of the paper is the best schedule over all
+// data-stationary models and viable tiling sizes; Dataflows and All
+// provide the loop orders, and the in-order mode of package sched turns
+// a sequence into a timed schedule with the same memory machinery as
+// the out-of-order scheduler, so the comparison isolates execution
+// order.
+package loop
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Dim identifies one of the four tile loops.
+type Dim uint8
+
+// The tile loop dimensions.
+const (
+	OC Dim = iota
+	OH
+	OW
+	IC
+)
+
+// String names the dimension.
+func (d Dim) String() string {
+	switch d {
+	case OC:
+		return "oc"
+	case OH:
+		return "oh"
+	case OW:
+		return "ow"
+	case IC:
+		return "ic"
+	}
+	return fmt.Sprintf("Dim(%d)", uint8(d))
+}
+
+// Dataflow is one static loop ordering, outermost loop first.
+type Dataflow struct {
+	Name string
+	Perm [4]Dim
+}
+
+// String renders the dataflow, e.g. "output-stationary (oh,ow,oc,ic)".
+func (d Dataflow) String() string {
+	return fmt.Sprintf("%s (%s,%s,%s,%s)", d.Name, d.Perm[0], d.Perm[1], d.Perm[2], d.Perm[3])
+}
+
+// Canonical returns the six named stationary dataflows used as the
+// default baseline search space.
+func Canonical() []Dataflow {
+	return []Dataflow{
+		{Name: "output-stationary", Perm: [4]Dim{OH, OW, OC, IC}},
+		{Name: "input-stationary", Perm: [4]Dim{OH, OW, IC, OC}},
+		{Name: "weight-stationary", Perm: [4]Dim{OC, IC, OH, OW}},
+		{Name: "weight-stationary-icf", Perm: [4]Dim{IC, OC, OH, OW}},
+		{Name: "input-stationary-icf", Perm: [4]Dim{IC, OH, OW, OC}},
+		{Name: "output-stationary-ocf", Perm: [4]Dim{OC, OH, OW, IC}},
+	}
+}
+
+// All returns all 24 loop permutations for exhaustive baseline search.
+func All() []Dataflow {
+	dims := [4]Dim{OC, OH, OW, IC}
+	var out []Dataflow
+	var permute func(rem []Dim, cur []Dim)
+	permute = func(rem, cur []Dim) {
+		if len(rem) == 0 {
+			var p [4]Dim
+			copy(p[:], cur)
+			out = append(out, Dataflow{Name: permName(p), Perm: p})
+			return
+		}
+		for i := range rem {
+			next := make([]Dim, 0, len(rem)-1)
+			next = append(next, rem[:i]...)
+			next = append(next, rem[i+1:]...)
+			permute(next, append(cur, rem[i]))
+		}
+	}
+	permute(dims[:], nil)
+	return out
+}
+
+func permName(p [4]Dim) string {
+	// Classify by the innermost loop: the data type whose tile index
+	// does not involve it stays resident longest.
+	switch p[3] {
+	case IC:
+		return "psum-stationary"
+	case OC:
+		return "input-stationary"
+	default:
+		return "weight-stationary"
+	}
+}
+
+// Order materializes the operation sequence of the dataflow over the
+// graph's tile grid: the loops iterate in Perm order (outermost first)
+// and each innermost iteration emits the op at the current block
+// coordinates. Every sequence respects the partial-sum chains because
+// all loops ascend.
+func Order(gr *dfg.Graph, df Dataflow) []int {
+	g := gr.Grid
+	counts := map[Dim]int{OC: g.NOC, OH: g.NOH, OW: g.NOW, IC: g.NIC}
+	idx := map[Dim]int{}
+	order := make([]int, 0, gr.Grid.NumOps())
+	var walk func(level int)
+	walk = func(level int) {
+		if level == 4 {
+			order = append(order, gr.OpAt(idx[OH], idx[OW], idx[OC], idx[IC]))
+			return
+		}
+		d := df.Perm[level]
+		for i := 0; i < counts[d]; i++ {
+			idx[d] = i
+			walk(level + 1)
+		}
+	}
+	walk(0)
+	return order
+}
+
+// StationaryKind returns the tile kind that the dataflow keeps
+// on-chip longest (the "stationary" data type).
+func (d Dataflow) StationaryKind() tile.Kind {
+	switch d.Perm[3] {
+	case IC:
+		return tile.Out // partial sums stay while ic sweeps
+	case OC:
+		return tile.In // input stays while oc sweeps
+	default:
+		return tile.Wt
+	}
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// nextSetOoO forms the next operation set out of order: it ranks the
+// ready queue, enumerates candidate combinations of up to #cores ops
+// from the best-ranked window, prunes duplicates with identical
+// dataflow maps, evaluates the survivors, and returns the highest
+// priority feasible set. It degrades to smaller sets when no full-width
+// set fits in the scratchpad, and returns nil only if not even a single
+// op can be made resident.
+func (e *engine) nextSetOoO() *setEval {
+	window := e.selectWindow()
+	e.sigSeen = nil
+	maxSize := e.cfg.Arch.Cores
+	if len(window) < maxSize {
+		maxSize = len(window)
+	}
+	// Evaluate every set width: under the default priority a narrower
+	// set can legitimately beat a full-width one when the extra ops
+	// would thrash the scratchpad (benefit ranks above width).
+	var best *setEval
+	for size := maxSize; size >= 1; size-- {
+		cand := e.bestSetOfSize(window, size)
+		if cand != nil && (best == nil || e.less(cand, best)) {
+			best = cand
+		}
+	}
+	if best == nil && len(window) < len(e.ready) {
+		// Nothing from the window fits; fall back to single ops from
+		// the whole ready queue before reporting failure.
+		best = e.bestSetOfSize(e.ready, 1)
+	}
+	return best
+}
+
+// selectWindow returns the most promising ready ops, at most
+// MaxReadyWindow. In pure OoO mode ops are ranked by the bytes of
+// their operands already resident (aligning the window with the
+// memory-benefit priority). With a dataflow hint, the window follows
+// the hint order outright — the run explores combinations around the
+// loop order, deviating only where the set priority says so, which is
+// how Algorithm 1's per-dataflow GetSchedule stays anchored to its
+// dataflow.
+func (e *engine) selectWindow() []int {
+	if e.cfg.Hint != nil {
+		window := append([]int(nil), e.ready...)
+		sort.Slice(window, func(i, j int) bool { return e.rank[window[i]] < e.rank[window[j]] })
+		if n := e.cfg.MaxReadyWindow; len(window) > n {
+			window = window[:n]
+		}
+		return window
+	}
+	type ranked struct {
+		op    int
+		score int64
+	}
+	rs := make([]ranked, len(e.ready))
+	for i, opIdx := range e.ready {
+		op := &e.gr.Ops[opIdx]
+		var score int64
+		if e.mem.Has(op.In) {
+			score += e.gr.Grid.Size(op.In)
+		}
+		if e.mem.Has(op.Wt) {
+			score += e.gr.Grid.Size(op.Wt)
+		}
+		if op.ReadsPsum && e.mem.Has(op.Out) {
+			score += e.gr.Grid.Size(op.Out)
+		}
+		rs[i] = ranked{op: opIdx, score: score}
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return e.rank[rs[i].op] < e.rank[rs[j].op]
+	})
+	n := e.cfg.MaxReadyWindow
+	if n > len(rs) {
+		n = len(rs)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = rs[i].op
+	}
+	return out
+}
+
+// bestSetOfSize enumerates combinations of size ops from window,
+// prunes, evaluates, and returns the best feasible evaluation (nil if
+// none).
+func (e *engine) bestSetOfSize(window []int, size int) *setEval {
+	var best *setEval
+	evaluated := 0
+	prune := !e.cfg.DisablePruning
+	if prune && e.sigSeen == nil {
+		e.sigSeen = make(map[string]bool)
+	}
+	combo := make([]int, size)
+	set := make([]int, size)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		if depth == size {
+			for i, wi := range combo {
+				set[i] = window[wi]
+			}
+			if prune {
+				sig := e.setSignature(set)
+				if e.sigSeen[sig] {
+					e.nPruned++
+					return true
+				}
+				e.sigSeen[sig] = true
+			}
+			ev := e.evalSet(append([]int(nil), set...))
+			evaluated++
+			if ev != nil && (best == nil || e.less(ev, best)) {
+				best = ev
+			}
+			return evaluated < e.cfg.MaxCandidateSets
+		}
+		for i := start; i <= len(window)-(size-depth); i++ {
+			combo[depth] = i
+			if !rec(i+1, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return best
+}
+
+// setSignature classifies a candidate set by its dataflow map
+// (Section 4.2): for every distinct operand tile, its kind, residency,
+// byte size and the number of ops in the set referencing it. Sets with
+// identical signatures move the same data and are interchangeable for
+// the priority function, so duplicates are pruned.
+func (e *engine) setSignature(ops []int) string {
+	type ref struct {
+		kind    uint8
+		present bool
+		size    int64
+		count   int
+	}
+	refs := make(map[tile.ID]*ref, 3*len(ops))
+	add := func(id tile.ID) {
+		r := refs[id]
+		if r == nil {
+			r = &ref{kind: uint8(id.Kind), present: e.mem.Has(id), size: e.gr.Grid.Size(id)}
+			refs[id] = r
+		}
+		r.count++
+	}
+	for _, opIdx := range ops {
+		op := &e.gr.Ops[opIdx]
+		add(op.In)
+		add(op.Wt)
+		// Output tiles: first writes and psum continuations are
+		// distinguished by residency + count.
+		add(op.Out)
+	}
+	entries := make([]ref, 0, len(refs))
+	for _, r := range refs {
+		entries = append(entries, *r)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.present != b.present {
+			return a.present
+		}
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		return a.count < b.count
+	})
+	buf := e.sigBuf[:0]
+	for _, r := range entries {
+		buf = append(buf, r.kind)
+		if r.present {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = strconv.AppendInt(buf, r.size, 36)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(r.count), 36)
+		buf = append(buf, ';')
+	}
+	e.sigBuf = buf
+	return string(buf)
+}
+
+// nextSetInOrder forms the next set following the static op order: the
+// longest prefix of unissued ops, up to #cores, that are pairwise
+// independent (no op may depend on another op of the same set). When
+// the scratchpad cannot hold a full set, the set shrinks from the tail
+// until it fits.
+func (e *engine) nextSetInOrder() *setEval {
+	order := e.cfg.Order
+	var set []int
+	inSet := make(map[int]bool, e.cfg.Arch.Cores)
+	for i := e.pos; i < len(order) && len(set) < e.cfg.Arch.Cores; i++ {
+		op := order[i]
+		if p := e.gr.Pred(op); p >= 0 && inSet[p] {
+			break // in-order issue stalls at the dependent op
+		}
+		set = append(set, op)
+		inSet[op] = true
+	}
+	for len(set) > 0 {
+		if ev := e.evalSet(append([]int(nil), set...)); ev != nil {
+			e.pos += len(set)
+			return ev
+		}
+		set = set[:len(set)-1]
+	}
+	return nil
+}

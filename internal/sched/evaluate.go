@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// loadRec is one pending load memory operation.
+type loadRec struct {
+	id   tile.ID
+	size int64
+}
+
+// setEval is the outcome of simulating one candidate operation set
+// against a copy of the scratchpad: the memory operations it would
+// require and the quantities the priority function ranks.
+type setEval struct {
+	ops    []int
+	mem    *spm.SPM // scratchpad state after the set's allocations
+	loads  []loadRec
+	spills []spm.Eviction
+
+	// Priority inputs (Section 4.3).
+	reused     int64   // bytes of operand accesses served from the SPM
+	spillCost  int64   // sum of size x maxRefCount over evictions
+	evicted    int64   // total evicted bytes (PriorityMinSpill)
+	loadBytes  int64   // bytes brought on-chip
+	spillBytes int64   // dirty bytes written back to make room
+	util       float64 // SPM utilization after the set
+	memLat     int64   // DMA cycles of the set's memory operations
+}
+
+// benefit returns the memory benefit of Section 4.3:
+// reused data - spilled data weighted by max ref count.
+func (ev *setEval) benefit() int64 { return ev.reused - ev.spillCost }
+
+// movedBytes returns all data movement caused by the set.
+func (ev *setEval) movedBytes() int64 { return ev.loadBytes + ev.spillBytes }
+
+// evalSet simulates issuing ops as one parallel set. It returns nil
+// when the set's operands cannot all be made resident (the scratchpad
+// cannot hold them even after evicting every unpinned block).
+//
+// The simulation runs against a clone of the scratchpad so that many
+// candidate sets can be compared side-effect-free; the clone of the
+// winning set is adopted wholesale by the engine.
+func (e *engine) evalSet(ops []int) *setEval {
+	e.nEval++
+	mem := e.mem.Clone()
+	ev := &setEval{ops: ops, mem: mem}
+	cores := e.cfg.Arch.Cores
+
+	// Tiles brought on-chip by this very set: sharing them within the
+	// set avoids a second load but is "new data", not reuse — the
+	// paper's dataflow maps (Fig. 7) keep the two separate and the
+	// memory benefit only credits data that was already resident.
+	fresh := make(map[tile.ID]bool, 3*len(ops))
+
+	touch := func(id tile.ID, load bool) bool {
+		size := e.gr.Grid.Size(id)
+		if mem.Has(id) {
+			if !fresh[id] {
+				ev.reused += size
+			}
+			mem.Pin(id)
+			return true
+		}
+		fresh[id] = true
+		evs, err := mem.Allocate(id, size, e.remainUses)
+		if err != nil {
+			return false
+		}
+		if load {
+			ev.loads = append(ev.loads, loadRec{id: id, size: size})
+			ev.loadBytes += size
+		}
+		for _, sp := range evs {
+			ev.spills = append(ev.spills, sp)
+			ev.evicted += sp.Size
+			maxRef := sp.RemainUses
+			if maxRef > cores {
+				maxRef = cores
+			}
+			ev.spillCost += sp.Size * int64(maxRef)
+			if sp.Dirty {
+				ev.spillBytes += sp.Size
+			}
+		}
+		return true
+	}
+
+	for _, opIdx := range ops {
+		op := &e.gr.Ops[opIdx]
+		if !touch(op.In, true) || !touch(op.Wt, true) {
+			return nil
+		}
+		// The output tile: a first write only reserves space; an
+		// accumulation step must bring the partial sum back on-chip if
+		// it was spilled.
+		if !touch(op.Out, op.ReadsPsum) {
+			return nil
+		}
+	}
+	ev.util = mem.Utilization()
+	ev.memLat = 0
+	for _, sp := range ev.spills {
+		if sp.Dirty {
+			ev.memLat += e.cfg.Model.TransferCycles(sp.Size)
+		}
+	}
+	for _, ld := range ev.loads {
+		ev.memLat += e.cfg.Model.TransferCycles(ld.size)
+	}
+	return ev
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// TestScheduleAcrossAllPresets runs the OoO scheduler for one
+// pressure layer on every Table 1 configuration and checks the
+// structural invariants plus two cross-configuration monotonicities:
+// more bandwidth never hurts latency, and more on-chip memory never
+// increases traffic (same tiling, same core count).
+func TestScheduleAcrossAllPresets(t *testing.T) {
+	l := layer.NewConv("m", 28, 28, 128, 128, 3)
+	f := tile.Factors{OH: 14, OW: 14, OC: 32, IC: 32}
+	results := make(map[string]*Result)
+	for _, name := range arch.PresetNames() {
+		a, err := arch.Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := buildGraph(t, l, f, a)
+		r, err := Schedule(gr, Config{Arch: a})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		validateSchedule(t, gr, r, a.Cores)
+		results[name] = r
+	}
+	// Doubling bandwidth (archN -> archN+1 pairs) must not slow the
+	// same machine down.
+	for _, pair := range [][2]string{{"arch1", "arch2"}, {"arch3", "arch4"}, {"arch5", "arch6"}, {"arch7", "arch8"}} {
+		slow, fast := results[pair[0]], results[pair[1]]
+		if fast.LatencyCycles > slow.LatencyCycles {
+			t.Errorf("%s (64 B/cyc) slower than %s (32 B/cyc): %d vs %d",
+				pair[1], pair[0], fast.LatencyCycles, slow.LatencyCycles)
+		}
+	}
+	// Doubling the scratchpad (arch1->arch3, arch2->arch4, ...) must
+	// not increase traffic for the same tiling.
+	for _, pair := range [][2]string{{"arch1", "arch3"}, {"arch2", "arch4"}, {"arch5", "arch7"}, {"arch6", "arch8"}} {
+		small, big := results[pair[0]], results[pair[1]]
+		if big.TrafficBytes() > small.TrafficBytes() {
+			t.Errorf("%s (512 KiB) moves more data than %s (256 KiB): %d vs %d",
+				pair[1], pair[0], big.TrafficBytes(), small.TrafficBytes())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// allTopoOrders enumerates every topological order of the psum chains
+// of a tiny graph (interleavings of the per-chain sequences).
+func allTopoOrders(gr *dfg.Graph) [][]int {
+	nic := gr.Grid.NIC
+	chains := len(gr.Ops) / nic
+	next := make([]int, chains) // progress per chain
+	var out [][]int
+	var cur []int
+	var rec func()
+	rec = func() {
+		if len(cur) == len(gr.Ops) {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for c := 0; c < chains; c++ {
+			if next[c] < nic {
+				op := c*nic + next[c]
+				next[c]++
+				cur = append(cur, op)
+				rec()
+				cur = cur[:len(cur)-1]
+				next[c]--
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+// TestOoOAgainstExhaustiveOrderOracle compares the greedy OoO schedule
+// against the metric-optimal schedule over EVERY possible execution
+// order of a tiny layer (all interleavings of its psum chains, each
+// replayed through the same in-order machinery). The OoO heuristic is
+// not guaranteed optimal — the paper presents it as a heuristic — but
+// on graphs this small it must stay within a modest factor of the true
+// order-optimum, and the oracle quantifies the gap exactly.
+func TestOoOAgainstExhaustiveOrderOracle(t *testing.T) {
+	// 2 chains x 3 psum steps = 6 ops, C(6,3)=20 orders; and a
+	// 3-chain x 2-step variant with 90 orders.
+	shapes := []struct {
+		name string
+		l    layer.Conv
+		f    tile.Factors
+	}{
+		{"2x3", layer.NewConv("o", 8, 4, 48, 8, 3), tile.Factors{OH: 4, OW: 4, OC: 8, IC: 16}},
+		{"3x2", layer.NewConv("o", 12, 4, 32, 8, 3), tile.Factors{OH: 4, OW: 4, OC: 8, IC: 16}},
+	}
+	for _, tc := range shapes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := arch.New("oracle", 2, arch.KiB(64), 32)
+			g, err := tile.NewGrid(tc.l, tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr := dfg.Build(g, model.New(a))
+			if len(gr.Ops) > 8 {
+				t.Fatalf("oracle graph too big: %d ops", len(gr.Ops))
+			}
+			orders := allTopoOrders(gr)
+			if len(orders) < 2 {
+				t.Fatalf("degenerate oracle: %d orders", len(orders))
+			}
+			best := 0.0
+			for i, order := range orders {
+				r, err := Schedule(gr, Config{Arch: a, Order: order})
+				if err != nil {
+					t.Fatalf("order %d: %v", i, err)
+				}
+				if i == 0 || r.Metric() < best {
+					best = r.Metric()
+				}
+			}
+			ooo, err := Schedule(gr, Config{Arch: a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := ooo.Metric() / best
+			t.Logf("%s: %d ops, %d orders, oracle=%.4g ooo=%.4g ratio=%.3f",
+				tc.name, len(gr.Ops), len(orders), best, ooo.Metric(), ratio)
+			if ratio > 1.25 {
+				t.Errorf("OoO metric %.4g is %.2fx the exhaustive-order optimum %.4g",
+					ooo.Metric(), ratio, best)
+			}
+		})
+	}
+}

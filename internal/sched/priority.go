@@ -1,0 +1,99 @@
+package sched
+
+// less reports whether evaluation a has strictly higher priority than
+// b under the configured priority function. All comparisons end with a
+// deterministic hint-rank tiebreak so schedules are reproducible.
+//
+// The default priority ranks memory benefit first. Benefit is additive
+// over the ops of a set, so a wider set always matches or beats its
+// subsets unless the extra ops force spills of valuable data — wide
+// sets win naturally, and the scheduler narrows an issue group only
+// when keeping all cores busy would thrash the scratchpad. Width is
+// the explicit second criterion, then the paper's tie-breaks:
+// scratchpad utilization, then shorter memory operations.
+//
+// The two alternative priorities of Table 2 are defined on fixed-width
+// sets in the paper, so they rank width first and their own criterion
+// second.
+func (e *engine) less(a, b *setEval) bool {
+	switch e.cfg.Priority {
+	case PriorityMinTransfer:
+		// Priority1: minimal amount of data movement.
+		if len(a.ops) != len(b.ops) {
+			return len(a.ops) > len(b.ops)
+		}
+		if a.movedBytes() != b.movedBytes() {
+			return a.movedBytes() < b.movedBytes()
+		}
+		if a.benefit() != b.benefit() {
+			return a.benefit() > b.benefit()
+		}
+		if a.memLat != b.memLat {
+			return a.memLat < b.memLat
+		}
+	case PriorityMinSpill:
+		// Priority2: lowest amount of spilled (evicted) data.
+		if len(a.ops) != len(b.ops) {
+			return len(a.ops) > len(b.ops)
+		}
+		if a.evicted != b.evicted {
+			return a.evicted < b.evicted
+		}
+		if a.loadBytes != b.loadBytes {
+			return a.loadBytes < b.loadBytes
+		}
+		if a.memLat != b.memLat {
+			return a.memLat < b.memLat
+		}
+	case PriorityChainDepth:
+		// Extension: a fixed rule independent of memory status —
+		// finish the deepest accumulation chains first (frees dirty
+		// partial sums soonest).
+		if len(a.ops) != len(b.ops) {
+			return len(a.ops) > len(b.ops)
+		}
+		if da, db := e.chainDepth(a.ops), e.chainDepth(b.ops); da != db {
+			return da > db
+		}
+	default:
+		if a.benefit() != b.benefit() {
+			return a.benefit() > b.benefit()
+		}
+		if len(a.ops) != len(b.ops) {
+			return len(a.ops) > len(b.ops)
+		}
+		// The paper ranks utilization above memory-op latency; under
+		// this implementation's set-barrier timing model that order
+		// rewards bursty DMA (one set hoarding several loads while the
+		// cores stall), so the latency of the set's memory operations
+		// is compared first and utilization breaks remaining ties.
+		if a.memLat != b.memLat {
+			return a.memLat < b.memLat
+		}
+		if a.util != b.util {
+			return a.util > b.util
+		}
+	}
+	return e.rankLess(a.ops, b.ops)
+}
+
+// chainDepth sums the accumulation depth (input-channel index) of the
+// set's ops, the ranking quantity of PriorityChainDepth.
+func (e *engine) chainDepth(ops []int) int {
+	d := 0
+	for _, op := range ops {
+		d += e.gr.Ops[op].IC
+	}
+	return d
+}
+
+// rankLess compares op sets lexicographically by hint rank, so that a
+// dataflow hint steers tie-breaking toward its loop order.
+func (e *engine) rankLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if ra, rb := e.rank[a[i]], e.rank[b[i]]; ra != rb {
+			return ra < rb
+		}
+	}
+	return len(a) < len(b)
+}

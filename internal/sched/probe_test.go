@@ -1,0 +1,28 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/loop"
+)
+
+func TestProbe(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	ooo, _ := Schedule(gr, Config{Arch: a})
+	t.Logf("OoO unhinted         : lat=%d traffic=%d (load=%d spill=%d wb=%d) metric=%.3g",
+		ooo.LatencyCycles, ooo.TrafficBytes(), ooo.LoadBytes, ooo.SpillBytes, ooo.WritebackBytes, ooo.Metric())
+	for _, df := range loop.Canonical() {
+		order := loop.Order(gr, df)
+		h, err := Schedule(gr, Config{Arch: a, Hint: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Schedule(gr, Config{Arch: a, Order: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-22s: OoO lat=%-7d traf=%-8d metric=%.3g | static lat=%-7d traf=%-8d metric=%.3g",
+			df.Name, h.LatencyCycles, h.TrafficBytes(), h.Metric(), r.LatencyCycles, r.TrafficBytes(), r.Metric())
+	}
+}

@@ -1,0 +1,394 @@
+// Package sched implements Flexer's out-of-order list scheduler
+// (Algorithm 1 of the paper) together with the in-order issue mode used
+// for the static loop-order baseline.
+//
+// The scheduler walks the tiled data-flow graph of a layer like a list
+// instruction scheduler for a multi-issue machine in which every NPU is
+// a functional unit. Each step it forms candidate sets of up to
+// #cores ready operations, prunes sets with identical dataflow maps,
+// scores the survivors with the configured priority function (memory
+// benefit, then scratchpad utilization, then memory-operation latency),
+// issues the winner, generates the required load/spill memory
+// operations on the fly, and wakes up dependent operations.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sim"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Priority selects the operation-set priority function (Table 2).
+type Priority uint8
+
+const (
+	// PriorityDefault is Flexer's priority: maximize memory benefit,
+	// then scratchpad utilization, then minimize memory-op latency.
+	PriorityDefault Priority = iota
+	// PriorityMinTransfer (Priority1) selects the set causing the
+	// minimal amount of data movement.
+	PriorityMinTransfer
+	// PriorityMinSpill (Priority2) selects the set causing the lowest
+	// amount of spilled data.
+	PriorityMinSpill
+	// PriorityChainDepth is an extension inspired by the atomic-
+	// dataflow orchestration of Zheng et al. (HPCA'22), which the paper
+	// contrasts with in related work: operations are prioritized by a
+	// pre-defined rule — finish the deepest partial-sum chains first —
+	// instead of inspecting the actual memory status. Useful as a
+	// literature baseline for how much the memory-aware priority buys.
+	PriorityChainDepth
+)
+
+// String names the priority function.
+func (p Priority) String() string {
+	switch p {
+	case PriorityDefault:
+		return "default"
+	case PriorityMinTransfer:
+		return "min-transfer"
+	case PriorityMinSpill:
+		return "min-spill"
+	case PriorityChainDepth:
+		return "chain-depth"
+	}
+	return fmt.Sprintf("Priority(%d)", uint8(p))
+}
+
+// Config controls one scheduling run.
+type Config struct {
+	// Arch is the hardware configuration.
+	Arch arch.Config
+	// Model supplies op and transfer latencies. The zero Model is
+	// replaced by model.New(Arch).
+	Model model.Model
+	// Priority selects the set priority function.
+	Priority Priority
+	// MemPolicy selects the spill-victim policy.
+	MemPolicy spm.Policy
+	// DisableInPlace turns off in-place replacement (ablation).
+	DisableInPlace bool
+	// DisablePruning turns off dataflow-map set pruning (ablation).
+	DisablePruning bool
+	// MaxReadyWindow bounds the number of ready ops considered for set
+	// formation (0 means DefaultMaxReadyWindow).
+	MaxReadyWindow int
+	// MaxCandidateSets bounds the number of sets fully evaluated per
+	// step (0 means DefaultMaxCandidateSets).
+	MaxCandidateSets int
+	// Order, when non-nil, switches the scheduler to in-order issue
+	// following this op sequence (the static loop-order baseline).
+	Order []int
+	// Hint, when non-nil, seeds the out-of-order exploration with a
+	// preferred op sequence (a loop-order dataflow): ops earlier in the
+	// hint win ties in window ranking and set selection, mirroring
+	// Algorithm 1's GetSchedule(tiling, dataflow) which generates one
+	// OoO schedule per dataflow. Ignored in in-order mode.
+	Hint []int
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxReadyWindow   = 16
+	DefaultMaxCandidateSets = 96
+)
+
+func (c Config) withDefaults() Config {
+	if c.Model == (model.Model{}) {
+		c.Model = model.New(c.Arch)
+	}
+	if c.MaxReadyWindow <= 0 {
+		c.MaxReadyWindow = DefaultMaxReadyWindow
+	}
+	if c.MaxCandidateSets <= 0 {
+		c.MaxCandidateSets = DefaultMaxCandidateSets
+	}
+	return c
+}
+
+// KindStats aggregates DMA traffic for one tile kind.
+type KindStats struct {
+	LoadBytes      int64
+	LoadCount      int
+	SpillBytes     int64 // dirty partial sums written back to make room
+	SpillCount     int
+	WritebackBytes int64 // finished outputs written off-chip
+	WritebackCount int
+	// MoveCounts is the number of DMA movements per tile, the basis of
+	// the reload histograms of Figure 10.
+	MoveCounts map[tile.ID]int
+}
+
+// TotalBytes returns all traffic of this kind.
+func (k KindStats) TotalBytes() int64 { return k.LoadBytes + k.SpillBytes + k.WritebackBytes }
+
+// SetRecord describes one issued operation set, including which tile
+// kinds were shared by two or more ops of the set (spatial reuse,
+// Figure 11).
+type SetRecord struct {
+	Ops    []int
+	Shared [tile.NumKinds]bool
+}
+
+// Result is a complete schedule with its cost breakdown.
+type Result struct {
+	// Factors is the tiling the schedule was generated for.
+	Factors tile.Factors
+	// LatencyCycles is the makespan including the final write-back of
+	// all finished output tiles.
+	LatencyCycles int64
+	// Traffic components, summed over kinds.
+	LoadBytes, SpillBytes, WritebackBytes int64
+	// PerKind breaks traffic down by tile kind.
+	PerKind [tile.NumKinds]KindStats
+	// Sets lists the issued operation sets in issue order.
+	Sets []SetRecord
+	// OpRecords and MemRecords are the scheduled timeline.
+	OpRecords  []sim.OpRecord
+	MemRecords []sim.MemRecord
+	// SetsEvaluated and SetsPruned count scheduler work.
+	SetsEvaluated, SetsPruned int
+}
+
+// TrafficBytes returns the total off-chip traffic of the schedule.
+func (r *Result) TrafficBytes() int64 { return r.LoadBytes + r.SpillBytes + r.WritebackBytes }
+
+// Metric returns the paper's default schedule-ranking metric,
+// latency x transferred data.
+func (r *Result) Metric() float64 {
+	return float64(r.LatencyCycles) * float64(r.TrafficBytes())
+}
+
+// engine holds the mutable scheduling state.
+type engine struct {
+	cfg     Config
+	gr      *dfg.Graph
+	mem     *spm.SPM
+	remain  map[tile.ID]int
+	ready   []int
+	opDone  []int64
+	writeAt map[tile.ID]int64 // completion time of the last write to a tile
+	tl      *sim.Timeline
+	res     *Result
+	pos     int   // next index into cfg.Order (in-order mode)
+	rank    []int // tie-break rank per op (hint position, or op index)
+	sigSeen map[string]bool
+	sigBuf  []byte
+	nEval   int
+	nPruned int
+	nDone   int
+}
+
+var errNoProgress = errors.New("sched: no feasible operation set (tiling too large for SPM?)")
+
+// Schedule generates a schedule for the DFG under cfg and returns its
+// cost breakdown.
+func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Order != nil {
+		if err := validateOrder(gr, cfg.Order); err != nil {
+			return nil, err
+		}
+	}
+	mem := spm.New(cfg.Arch.SPMBytes, cfg.MemPolicy)
+	mem.SetInPlace(!cfg.DisableInPlace)
+	e := &engine{
+		cfg:     cfg,
+		gr:      gr,
+		mem:     mem,
+		remain:  gr.Uses(),
+		ready:   gr.InitialReady(),
+		opDone:  make([]int64, len(gr.Ops)),
+		writeAt: make(map[tile.ID]int64),
+		tl:      sim.New(cfg.Arch.Cores),
+		res:     &Result{Factors: gr.Grid.F},
+	}
+	for k := range e.res.PerKind {
+		e.res.PerKind[k].MoveCounts = make(map[tile.ID]int)
+	}
+	e.rank = make([]int, len(gr.Ops))
+	if cfg.Hint != nil && cfg.Order == nil {
+		if err := validateOrder(gr, cfg.Hint); err != nil {
+			return nil, fmt.Errorf("sched: invalid hint: %w", err)
+		}
+		for pos, op := range cfg.Hint {
+			e.rank[op] = pos
+		}
+	} else {
+		for i := range e.rank {
+			e.rank[i] = i
+		}
+	}
+	total := len(gr.Ops)
+	for e.nDone < total {
+		e.mem.UnpinAll()
+		var ev *setEval
+		if cfg.Order != nil {
+			ev = e.nextSetInOrder()
+		} else {
+			ev = e.nextSetOoO()
+		}
+		if ev == nil {
+			return nil, errNoProgress
+		}
+		e.apply(ev)
+	}
+	e.flush()
+	e.res.LatencyCycles = e.tl.Makespan()
+	e.res.OpRecords = e.tl.Ops()
+	e.res.MemRecords = e.tl.Mems()
+	e.res.SetsEvaluated = e.nEval
+	e.res.SetsPruned = e.nPruned
+	return e.res, nil
+}
+
+func validateOrder(gr *dfg.Graph, order []int) error {
+	if len(order) != len(gr.Ops) {
+		return fmt.Errorf("sched: order has %d ops, graph has %d", len(order), len(gr.Ops))
+	}
+	seen := make([]bool, len(gr.Ops))
+	for _, op := range order {
+		if op < 0 || op >= len(gr.Ops) {
+			return fmt.Errorf("sched: order references op %d outside graph", op)
+		}
+		if seen[op] {
+			return fmt.Errorf("sched: order lists op %d twice", op)
+		}
+		if p := gr.Pred(op); p >= 0 && !seen[p] {
+			return fmt.Errorf("sched: order schedules op %d before its predecessor %d", op, p)
+		}
+		seen[op] = true
+	}
+	return nil
+}
+
+// remainUses adapts the remaining-access table for the spill heuristics.
+func (e *engine) remainUses(id tile.ID) int { return e.remain[id] }
+
+// apply commits the chosen set: adopts the evaluated scratchpad state,
+// schedules the memory operations and compute ops on the timeline,
+// updates bookkeeping, and wakes up successors.
+func (e *engine) apply(ev *setEval) {
+	e.mem = ev.mem
+
+	// Memory operations on the shared DMA channel. Loads are issued
+	// first and gate the set's compute; write-backs of evicted dirty
+	// tiles follow — they occupy DMA bandwidth (delaying later sets'
+	// loads) and extend the makespan, but hardware double-buffers the
+	// vacated space, so they do not stall this set's compute. Ordering
+	// loads first keeps the DMA channel from idling on a write-back
+	// whose producing op has not finished yet.
+	var memEnd int64
+	for _, ld := range ev.loads {
+		lat := e.cfg.Model.TransferCycles(ld.size)
+		rec := e.tl.Transfer(ld.id, sim.Load, ld.size, lat, 0)
+		e.account(rec)
+		if rec.End > memEnd {
+			memEnd = rec.End
+		}
+	}
+	for _, sp := range ev.spills {
+		if !sp.Dirty {
+			continue // clean evictions drop data without traffic
+		}
+		kind := sim.Spill
+		if sp.ID.Kind == tile.Out && sp.RemainUses == 0 {
+			kind = sim.Writeback // finished output evicted: its one required write
+		}
+		lat := e.cfg.Model.TransferCycles(sp.Size)
+		rec := e.tl.Transfer(sp.ID, kind, sp.Size, lat, e.writeAt[sp.ID])
+		e.account(rec)
+	}
+
+	// Compute operations, one per core, after the set's memory ops and
+	// their chain predecessors.
+	var setRec SetRecord
+	refs := make(map[tile.ID]int, 3*len(ev.ops))
+	for _, opIdx := range ev.ops {
+		op := &e.gr.Ops[opIdx]
+		earliest := memEnd
+		if p := e.gr.Pred(opIdx); p >= 0 && e.opDone[p] > earliest {
+			earliest = e.opDone[p]
+		}
+		rec := e.tl.Issue(opIdx, e.tl.LeastBusyNPU(), earliest, op.Cycles)
+		e.opDone[opIdx] = rec.End
+		e.writeAt[op.Out] = rec.End
+		e.mem.SetDirty(op.Out, true)
+		e.remain[op.In]--
+		e.remain[op.Wt]--
+		e.remain[op.Out]--
+		refs[op.In]++
+		refs[op.Wt]++
+		if op.ReadsPsum {
+			refs[op.Out]++
+		}
+		if succ := e.gr.Succ(opIdx); succ >= 0 {
+			e.ready = append(e.ready, succ)
+		}
+		e.nDone++
+	}
+	for id, n := range refs {
+		if n >= 2 {
+			setRec.Shared[id.Kind] = true
+		}
+	}
+	setRec.Ops = append([]int(nil), ev.ops...)
+	e.res.Sets = append(e.res.Sets, setRec)
+
+	// Remove the issued ops from the ready list.
+	issued := make(map[int]bool, len(ev.ops))
+	for _, op := range ev.ops {
+		issued[op] = true
+	}
+	kept := e.ready[:0]
+	for _, op := range e.ready {
+		if !issued[op] {
+			kept = append(kept, op)
+		}
+	}
+	e.ready = kept
+	e.mem.UnpinAll()
+}
+
+// account records one DMA transfer in the per-kind statistics.
+func (e *engine) account(rec sim.MemRecord) {
+	ks := &e.res.PerKind[rec.Tile.Kind]
+	switch rec.Kind {
+	case sim.Load:
+		ks.LoadBytes += rec.Bytes
+		ks.LoadCount++
+		e.res.LoadBytes += rec.Bytes
+	case sim.Spill:
+		ks.SpillBytes += rec.Bytes
+		ks.SpillCount++
+		e.res.SpillBytes += rec.Bytes
+	case sim.Writeback:
+		ks.WritebackBytes += rec.Bytes
+		ks.WritebackCount++
+		e.res.WritebackBytes += rec.Bytes
+	}
+	ks.MoveCounts[rec.Tile]++
+}
+
+// flush writes back every dirty tile remaining in the scratchpad; after
+// all chains complete these are exactly the finished output tiles.
+func (e *engine) flush() {
+	for _, b := range e.mem.Blocks() {
+		if !b.Dirty {
+			continue
+		}
+		lat := e.cfg.Model.TransferCycles(b.Size)
+		rec := e.tl.Transfer(b.ID, sim.Writeback, b.Size, lat, e.writeAt[b.ID])
+		e.account(rec)
+		e.mem.SetDirty(b.ID, false)
+	}
+}

@@ -1,0 +1,398 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/loop"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sim"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+func testArch(cores int) arch.Config {
+	return arch.New("test", cores, arch.KiB(256), 32)
+}
+
+func buildGraph(t *testing.T, l layer.Conv, f tile.Factors, a arch.Config) *dfg.Graph {
+	t.Helper()
+	g, err := tile.NewGrid(l, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dfg.Build(g, model.New(a))
+}
+
+func smallGraph(t *testing.T, a arch.Config) *dfg.Graph {
+	return buildGraph(t, layer.NewConv("s", 8, 8, 32, 24, 3),
+		tile.Factors{OH: 4, OW: 4, OC: 12, IC: 16}, a)
+}
+
+// pressureGraph has real memory pressure: psum chains and operand sets
+// that do not all fit in 256 KiB at once.
+func pressureGraph(t *testing.T, a arch.Config) *dfg.Graph {
+	return buildGraph(t, layer.NewConv("p", 28, 28, 128, 128, 3),
+		tile.Factors{OH: 14, OW: 14, OC: 32, IC: 32}, a)
+}
+
+// validateSchedule checks the structural invariants every schedule must
+// satisfy.
+func validateSchedule(t *testing.T, gr *dfg.Graph, r *Result, cores int) {
+	t.Helper()
+	// Every op scheduled exactly once.
+	if len(r.OpRecords) != len(gr.Ops) {
+		t.Fatalf("scheduled %d ops, graph has %d", len(r.OpRecords), len(gr.Ops))
+	}
+	end := make([]int64, len(gr.Ops))
+	start := make([]int64, len(gr.Ops))
+	seen := make([]bool, len(gr.Ops))
+	byNPU := make(map[int][]sim.OpRecord)
+	for _, rec := range r.OpRecords {
+		if seen[rec.Op] {
+			t.Fatalf("op %d scheduled twice", rec.Op)
+		}
+		seen[rec.Op] = true
+		if rec.NPU < 0 || rec.NPU >= cores {
+			t.Fatalf("op %d on NPU %d (cores=%d)", rec.Op, rec.NPU, cores)
+		}
+		if rec.End <= rec.Start || rec.Start < 0 {
+			t.Fatalf("op %d interval [%d,%d)", rec.Op, rec.Start, rec.End)
+		}
+		start[rec.Op], end[rec.Op] = rec.Start, rec.End
+		byNPU[rec.NPU] = append(byNPU[rec.NPU], rec)
+	}
+	// Dependencies respected in time.
+	for i := range gr.Ops {
+		if p := gr.Pred(i); p >= 0 && start[i] < end[p] {
+			t.Fatalf("op %d starts at %d before pred %d ends at %d", i, start[i], p, end[p])
+		}
+	}
+	// Per-NPU intervals must not overlap.
+	for npu, recs := range byNPU {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start < recs[i-1].End {
+				t.Fatalf("NPU %d: ops %d and %d overlap", npu, recs[i-1].Op, recs[i].Op)
+			}
+		}
+	}
+	// Sets cover all ops, none wider than the machine.
+	nOps := 0
+	for _, s := range r.Sets {
+		if len(s.Ops) == 0 || len(s.Ops) > cores {
+			t.Fatalf("set width %d (cores=%d)", len(s.Ops), cores)
+		}
+		nOps += len(s.Ops)
+		// Output tiles can never be shared inside a set: sharing an OT
+		// means two ops of one chain issued together.
+		if s.Shared[tile.Out] {
+			t.Fatalf("set %v shares an output tile", s.Ops)
+		}
+	}
+	if nOps != len(gr.Ops) {
+		t.Fatalf("sets cover %d ops, want %d", nOps, len(gr.Ops))
+	}
+	// Traffic lower bounds: every input/weight tile is loaded at least
+	// once, every output tile written back at least once.
+	g := gr.Grid
+	if r.PerKind[tile.In].LoadBytes < g.TotalTileBytes(tile.In) {
+		t.Errorf("IN loads %d < cold-miss bound %d", r.PerKind[tile.In].LoadBytes, g.TotalTileBytes(tile.In))
+	}
+	if r.PerKind[tile.Wt].LoadBytes < g.TotalTileBytes(tile.Wt) {
+		t.Errorf("WT loads %d < cold-miss bound %d", r.PerKind[tile.Wt].LoadBytes, g.TotalTileBytes(tile.Wt))
+	}
+	wb := r.PerKind[tile.Out].WritebackBytes + r.PerKind[tile.Out].SpillBytes
+	if wb < g.TotalTileBytes(tile.Out) {
+		t.Errorf("OT writes %d < output size %d", wb, g.TotalTileBytes(tile.Out))
+	}
+	// Aggregates match per-kind sums.
+	var loads, spills, wbs int64
+	for k := 0; k < tile.NumKinds; k++ {
+		loads += r.PerKind[k].LoadBytes
+		spills += r.PerKind[k].SpillBytes
+		wbs += r.PerKind[k].WritebackBytes
+	}
+	if loads != r.LoadBytes || spills != r.SpillBytes || wbs != r.WritebackBytes {
+		t.Errorf("per-kind sums (%d,%d,%d) != aggregates (%d,%d,%d)",
+			loads, spills, wbs, r.LoadBytes, r.SpillBytes, r.WritebackBytes)
+	}
+	// Latency covers every record.
+	for _, rec := range r.OpRecords {
+		if rec.End > r.LatencyCycles {
+			t.Errorf("op %d ends at %d after latency %d", rec.Op, rec.End, r.LatencyCycles)
+		}
+	}
+	for _, rec := range r.MemRecords {
+		if rec.End > r.LatencyCycles {
+			t.Errorf("mem op %v ends at %d after latency %d", rec.Tile, rec.End, r.LatencyCycles)
+		}
+	}
+}
+
+func TestScheduleOoOSmall(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	r, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, r, a.Cores)
+	if r.LatencyCycles <= 0 || r.TrafficBytes() <= 0 {
+		t.Fatalf("degenerate result: lat=%d traffic=%d", r.LatencyCycles, r.TrafficBytes())
+	}
+}
+
+func TestScheduleOoOUnderPressure(t *testing.T) {
+	for _, cores := range []int{2, 4} {
+		a := testArch(cores)
+		gr := pressureGraph(t, a)
+		r, err := Schedule(gr, Config{Arch: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateSchedule(t, gr, r, cores)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	r1, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LatencyCycles != r2.LatencyCycles || r1.TrafficBytes() != r2.TrafficBytes() {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)",
+			r1.LatencyCycles, r1.TrafficBytes(), r2.LatencyCycles, r2.TrafficBytes())
+	}
+	for i := range r1.OpRecords {
+		if r1.OpRecords[i] != r2.OpRecords[i] {
+			t.Fatalf("op record %d differs", i)
+		}
+	}
+}
+
+func TestScheduleStaticOrders(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	for _, df := range loop.Canonical() {
+		order := loop.Order(gr, df)
+		r, err := Schedule(gr, Config{Arch: a, Order: order})
+		if err != nil {
+			t.Fatalf("%s: %v", df, err)
+		}
+		validateSchedule(t, gr, r, a.Cores)
+	}
+}
+
+// TestOoOBeatsStaticUnderPressure pins the headline behaviour: on a
+// layer with memory pressure, the OoO schedule's latency x traffic
+// metric is at least as good as every canonical static order for the
+// same tiling.
+func TestOoOBeatsStaticUnderPressure(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	ooo, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestStatic := 0.0
+	for i, df := range loop.Canonical() {
+		r, err := Schedule(gr, Config{Arch: a, Order: loop.Order(gr, df)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || r.Metric() < bestStatic {
+			bestStatic = r.Metric()
+		}
+	}
+	// Allow tolerance: the OoO scheduler is a greedy heuristic, and on
+	// a single fixed tiling it may trail the best static order by a few
+	// percent (the paper's Fig. 9a likewise shows individual layers
+	// where Flexer loses); the search across tilings and dataflow hints
+	// is what must win.
+	if ooo.Metric() > bestStatic*1.10 {
+		t.Errorf("OoO metric %.3g worse than best static %.3g", ooo.Metric(), bestStatic)
+	}
+}
+
+func TestValidateOrderErrors(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	n := len(gr.Ops)
+	cases := []struct {
+		name  string
+		order []int
+	}{
+		{"too short", make([]int, n-1)},
+		{"out of range", append(seq(n-1), n+5)},
+		{"duplicate", append(seq(n-1), 0)},
+		{"pred after succ", swapped(seq(n), 0, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Schedule(gr, Config{Arch: a, Order: tc.order}); err == nil {
+				t.Error("invalid order accepted")
+			}
+		})
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func swapped(s []int, i, j int) []int {
+	s[i], s[j] = s[j], s[i]
+	return s
+}
+
+func TestPriorityFunctionsAllValid(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	results := map[Priority]*Result{}
+	for _, p := range []Priority{PriorityDefault, PriorityMinTransfer, PriorityMinSpill, PriorityChainDepth} {
+		r, err := Schedule(gr, Config{Arch: a, Priority: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		validateSchedule(t, gr, r, a.Cores)
+		results[p] = r
+	}
+	// MinTransfer must not move more data than the default priority
+	// does by a wide margin (it is the policy optimizing exactly that).
+	if results[PriorityMinTransfer].TrafficBytes() > results[PriorityDefault].TrafficBytes()*3/2 {
+		t.Errorf("min-transfer traffic %d far above default %d",
+			results[PriorityMinTransfer].TrafficBytes(), results[PriorityDefault].TrafficBytes())
+	}
+}
+
+func TestMemPoliciesAllValid(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	for _, p := range []spm.Policy{spm.PolicyFlexer, spm.PolicyFirstFit, spm.PolicySmallestFirst} {
+		r, err := Schedule(gr, Config{Arch: a, MemPolicy: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		validateSchedule(t, gr, r, a.Cores)
+	}
+}
+
+func TestPruningAblation(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	pruned, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned, err := Schedule(gr, Config{Arch: a, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, unpruned, a.Cores)
+	if pruned.SetsPruned == 0 {
+		t.Error("pruning enabled but nothing pruned on a pressure graph")
+	}
+	if unpruned.SetsPruned != 0 {
+		t.Errorf("pruning disabled but %d sets pruned", unpruned.SetsPruned)
+	}
+	if unpruned.SetsEvaluated <= pruned.SetsEvaluated {
+		t.Errorf("pruning did not reduce evaluations: %d (pruned) vs %d",
+			pruned.SetsEvaluated, unpruned.SetsEvaluated)
+	}
+}
+
+func TestInPlaceAblation(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	r, err := Schedule(gr, Config{Arch: a, DisableInPlace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, r, a.Cores)
+}
+
+func TestMoveCountsMatchTransferCounts(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	r, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < tile.NumKinds; k++ {
+		ks := r.PerKind[k]
+		sum := 0
+		for _, n := range ks.MoveCounts {
+			sum += n
+		}
+		if want := ks.LoadCount + ks.SpillCount + ks.WritebackCount; sum != want {
+			t.Errorf("%v: move counts sum %d, transfers %d", tile.Kind(k), sum, want)
+		}
+	}
+	if len(r.MemRecords) == 0 {
+		t.Fatal("no memory operations recorded")
+	}
+}
+
+func TestSingleCoreDegeneratesToSequential(t *testing.T) {
+	a := testArch(1)
+	gr := smallGraph(t, a)
+	r, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, r, 1)
+	for _, s := range r.Sets {
+		if len(s.Ops) != 1 {
+			t.Fatalf("single-core set of width %d", len(s.Ops))
+		}
+	}
+}
+
+func TestTilingTooLargeForSPMFails(t *testing.T) {
+	a := arch.New("tiny", 2, 4096, 32) // 4 KiB SPM
+	l := layer.NewConv("big", 32, 32, 64, 64, 3)
+	g, err := tile.NewGrid(l, tile.Factors{OH: 32, OW: 32, OC: 64, IC: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := dfg.Build(g, model.New(a))
+	if _, err := Schedule(gr, Config{Arch: a}); err == nil {
+		t.Fatal("oversized tiling scheduled on a 4 KiB SPM")
+	}
+}
+
+func TestPriorityStrings(t *testing.T) {
+	if PriorityDefault.String() != "default" ||
+		PriorityMinTransfer.String() != "min-transfer" ||
+		PriorityMinSpill.String() != "min-spill" ||
+		PriorityChainDepth.String() != "chain-depth" {
+		t.Error("priority names changed")
+	}
+	if Priority(9).String() == "" {
+		t.Error("unknown priority renders empty")
+	}
+}
+
+func TestResultMetric(t *testing.T) {
+	r := &Result{LatencyCycles: 10, LoadBytes: 3, SpillBytes: 2, WritebackBytes: 5}
+	if r.TrafficBytes() != 10 {
+		t.Fatalf("TrafficBytes = %d", r.TrafficBytes())
+	}
+	if r.Metric() != 100 {
+		t.Fatalf("Metric = %f", r.Metric())
+	}
+}

@@ -1,0 +1,76 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+)
+
+// Cache memoizes layer search results by layer shape (ignoring the
+// layer name), hardware configuration and search options. Networks
+// such as ResNet-50 repeat the same convolution shape many times; the
+// cache collapses those to one search each, the "memory function" the
+// paper suggests to tame the scheduler's runtime. Cache is safe for
+// concurrent use and coalesces concurrent lookups of the same key.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	lr   *LayerResult
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*cacheEntry)}
+}
+
+// Len returns the number of distinct entries (including in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// layer returns the memoized result for l under opts, computing it at
+// most once per key.
+func (c *Cache) layer(l layer.Conv, opts Options) (*LayerResult, error) {
+	key := cacheKey(l, opts)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+		e.lr, e.err = searchLayerUncached(l, opts)
+		close(e.done)
+	} else {
+		c.mu.Unlock()
+		<-e.done
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	// Shallow-copy so each caller sees its own layer name.
+	lr := *e.lr
+	lr.Layer = l
+	return &lr, nil
+}
+
+// cacheKey fingerprints everything that affects a layer search except
+// the layer's name.
+func cacheKey(l layer.Conv, opts Options) string {
+	shape := l
+	shape.Name = ""
+	b := opts.Budget
+	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%d|%v%v%v|%d:%d:%d:%d:%d",
+		shape,
+		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
+		opts.Metric, opts.Priority, opts.MemPolicy, len(b.Dataflows),
+		opts.DisableInPlace, opts.DisablePruning, b.HintedOoO,
+		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets)
+}

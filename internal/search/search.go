@@ -1,0 +1,361 @@
+// Package search drives the outer loop of Algorithm 1: for a layer it
+// enumerates viable tilings, generates an out-of-order schedule for
+// each, generates the static loop-order schedules for every dataflow of
+// the baseline, and returns the best of each ranked by the configurable
+// metric (latency x transferred data by default).
+//
+// The paper reports that this exhaustive search is embarrassingly slow
+// (~20 h for ResNet-50 on 4 cores) and suggests memoization and
+// parallelism; both are implemented here: tilings are scheduled by a
+// worker pool, and a Cache keyed by (layer shape, arch, options)
+// deduplicates repeated layer shapes, which cuts ResNet-style networks
+// by more than half.
+package search
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/loop"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/nets"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Metric ranks schedules by latency^LatExp x traffic^TrafficExp. The
+// zero value means the paper's default metric (both exponents 1).
+type Metric struct {
+	LatExp, TrafficExp float64
+}
+
+// MetricDefault is the paper's ranking metric: latency x traffic.
+func MetricDefault() Metric { return Metric{LatExp: 1, TrafficExp: 1} }
+
+// MetricMinTransfer weights traffic reduction far above latency,
+// matching the Figure 9(b) experiment.
+func MetricMinTransfer() Metric { return Metric{LatExp: 0.1, TrafficExp: 1} }
+
+// Score computes the metric value; lower is better.
+func (m Metric) Score(latency, traffic int64) float64 {
+	if m.LatExp == 0 && m.TrafficExp == 0 {
+		m = MetricDefault()
+	}
+	return math.Pow(float64(latency), m.LatExp) * math.Pow(float64(traffic), m.TrafficExp)
+}
+
+// Budget bounds the search effort.
+type Budget struct {
+	// MaxTilings caps the candidate tilings per layer.
+	MaxTilings int
+	// MaxOps skips tilings producing more tiled ops than this.
+	MaxOps int
+	// MaxValuesPerDim caps the candidate factor values per dimension.
+	MaxValuesPerDim int
+	// Dataflows is the static baseline search space (nil means
+	// loop.Canonical()).
+	Dataflows []loop.Dataflow
+	// MaxReadyWindow and MaxCandidateSets bound the OoO scheduler's
+	// per-step work (0 = scheduler defaults).
+	MaxReadyWindow, MaxCandidateSets int
+	// HintedOoO additionally generates one OoO schedule seeded with
+	// each dataflow (Algorithm 1 runs GetSchedule per tiling AND
+	// dataflow) and keeps the best; costs one extra OoO run per
+	// dataflow per tiling.
+	HintedOoO bool
+}
+
+// DefaultBudget returns a budget suitable for CLI use: a broad tiling
+// sample and exhaustive (24-permutation) baseline.
+func DefaultBudget() Budget {
+	return Budget{MaxTilings: 24, MaxOps: 4096, MaxValuesPerDim: 10,
+		Dataflows: loop.All(), HintedOoO: true}
+}
+
+// QuickBudget returns a small budget for tests and benchmarks.
+func QuickBudget() Budget {
+	return Budget{MaxTilings: 4, MaxOps: 512, MaxValuesPerDim: 6,
+		Dataflows: loop.Canonical(), MaxReadyWindow: 12, MaxCandidateSets: 32,
+		HintedOoO: true}
+}
+
+// Options configure a search.
+type Options struct {
+	Arch      arch.Config
+	Budget    Budget
+	Metric    Metric
+	Priority  sched.Priority
+	MemPolicy spm.Policy
+	// DisableInPlace / DisablePruning switch off the corresponding
+	// scheduler optimizations (ablations).
+	DisableInPlace, DisablePruning bool
+	// Workers is the parallelism of the search (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, memoizes layer results across calls.
+	Cache *Cache
+
+	// sem is a shared worker-pool semaphore; SearchNetwork installs one
+	// so nested layer searches share a single parallelism budget.
+	sem chan struct{}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Candidate is the outcome of one tiling: its out-of-order schedule and
+// the best static loop-order schedule for the same tiling.
+type Candidate struct {
+	Factors     tile.Factors
+	OoO         *sched.Result
+	Static      *sched.Result
+	StaticOrder loop.Dataflow
+}
+
+// LayerResult is the outcome of searching one layer: all per-tiling
+// candidates plus the best OoO and best static schedules overall.
+type LayerResult struct {
+	Layer      layer.Conv
+	Candidates []Candidate
+	// BestOoO and BestStatic minimize the metric across tilings (and,
+	// for the static baseline, dataflows).
+	BestOoO         *sched.Result
+	BestStatic      *sched.Result
+	BestStaticOrder loop.Dataflow
+}
+
+// Speedup returns baseline latency / OoO latency (>1 means OoO wins).
+func (lr *LayerResult) Speedup() float64 {
+	return float64(lr.BestStatic.LatencyCycles) / float64(lr.BestOoO.LatencyCycles)
+}
+
+// TrafficReduction returns baseline traffic / OoO traffic.
+func (lr *LayerResult) TrafficReduction() float64 {
+	return float64(lr.BestStatic.TrafficBytes()) / float64(lr.BestOoO.TrafficBytes())
+}
+
+// SearchLayer runs the full per-layer search of Algorithm 1 (lines
+// 2-11) for both the OoO scheduler and the static baseline.
+func SearchLayer(l layer.Conv, opts Options) (*LayerResult, error) {
+	if opts.Cache != nil {
+		return opts.Cache.layer(l, opts)
+	}
+	return searchLayerUncached(l, opts)
+}
+
+func searchLayerUncached(l layer.Conv, opts Options) (*LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	b := opts.Budget
+	if b.MaxOps <= 0 {
+		b.MaxOps = tile.DefaultMaxOps
+	}
+	tilings := enumerateWithEscalation(l, opts.Arch, b)
+	if len(tilings) == 0 {
+		return nil, fmt.Errorf("search: no feasible tiling for layer %s on %s", l.Name, opts.Arch.Name)
+	}
+	dataflows := b.Dataflows
+	if dataflows == nil {
+		dataflows = loop.Canonical()
+	}
+	m := model.New(opts.Arch)
+
+	results := make([]Candidate, len(tilings))
+	errs := make([]error, len(tilings))
+	var wg sync.WaitGroup
+	sem := opts.sem
+	if sem == nil {
+		sem = make(chan struct{}, opts.workers())
+	}
+	for i, f := range tilings {
+		wg.Add(1)
+		go func(i int, f tile.Factors) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = scheduleTiling(l, f, m, dataflows, opts)
+		}(i, f)
+	}
+	wg.Wait()
+
+	lr := &LayerResult{Layer: l}
+	metric := opts.Metric
+	for i := range results {
+		if errs[i] != nil {
+			// A tiling that cannot be scheduled (SPM too fragmented for
+			// its op footprint) is skipped, like infeasible tilings in
+			// the paper's search.
+			continue
+		}
+		c := results[i]
+		lr.Candidates = append(lr.Candidates, c)
+		if lr.BestOoO == nil || metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()) <
+			metric.Score(lr.BestOoO.LatencyCycles, lr.BestOoO.TrafficBytes()) {
+			lr.BestOoO = c.OoO
+		}
+		if c.Static != nil && (lr.BestStatic == nil ||
+			metric.Score(c.Static.LatencyCycles, c.Static.TrafficBytes()) <
+				metric.Score(lr.BestStatic.LatencyCycles, lr.BestStatic.TrafficBytes())) {
+			lr.BestStatic = c.Static
+			lr.BestStaticOrder = c.StaticOrder
+		}
+	}
+	if lr.BestOoO == nil || lr.BestStatic == nil {
+		return nil, fmt.Errorf("search: no schedulable tiling for layer %s on %s", l.Name, opts.Arch.Name)
+	}
+	return lr, nil
+}
+
+// enumerateWithEscalation relaxes the op-count cap until at least one
+// tiling is feasible; very large layers need more (smaller) tiles than
+// the default cap allows.
+func enumerateWithEscalation(l layer.Conv, cfg arch.Config, b Budget) []tile.Factors {
+	lim := tile.EnumLimits{
+		SPMBytes:        cfg.SPMBytes,
+		Cores:           cfg.Cores,
+		MaxOps:          b.MaxOps,
+		MaxTilings:      b.MaxTilings,
+		MaxValuesPerDim: b.MaxValuesPerDim,
+	}
+	for i := 0; i < 8; i++ {
+		if ts := tile.Enumerate(l, lim); len(ts) > 0 {
+			return ts
+		}
+		lim.MaxOps *= 2
+		lim.MaxValuesPerDim += 4
+	}
+	return nil
+}
+
+// maxOoOHints bounds how many dataflows additionally seed hinted OoO
+// runs per tiling (the first entries of the dataflow list; the
+// canonical order starts with the output-, input- and
+// weight-stationary flows, which cover the three sharing patterns).
+const maxOoOHints = 3
+
+// scheduleTiling produces the OoO schedule and the best static schedule
+// for one tiling.
+func scheduleTiling(l layer.Conv, f tile.Factors, m model.Model, dataflows []loop.Dataflow, opts Options) (Candidate, error) {
+	grid, err := tile.NewGrid(l, f)
+	if err != nil {
+		return Candidate{}, err
+	}
+	graph := dfg.Build(grid, m)
+	base := sched.Config{
+		Arch:             opts.Arch,
+		Model:            m,
+		Priority:         opts.Priority,
+		MemPolicy:        opts.MemPolicy,
+		DisableInPlace:   opts.DisableInPlace,
+		DisablePruning:   opts.DisablePruning,
+		MaxReadyWindow:   opts.Budget.MaxReadyWindow,
+		MaxCandidateSets: opts.Budget.MaxCandidateSets,
+	}
+	c := Candidate{Factors: f}
+	ooo, err := sched.Schedule(graph, base)
+	if err != nil {
+		return Candidate{}, err
+	}
+	c.OoO = ooo
+	metric := opts.Metric
+	for i, df := range dataflows {
+		order := loop.Order(graph, df)
+		cfg := base
+		cfg.Order = order
+		res, err := sched.Schedule(graph, cfg)
+		if err != nil {
+			continue
+		}
+		if c.Static == nil || metric.Score(res.LatencyCycles, res.TrafficBytes()) <
+			metric.Score(c.Static.LatencyCycles, c.Static.TrafficBytes()) {
+			c.Static = res
+			c.StaticOrder = df
+		}
+		if opts.Budget.HintedOoO && i < maxOoOHints {
+			hcfg := base
+			hcfg.Hint = order
+			if h, err := sched.Schedule(graph, hcfg); err == nil &&
+				metric.Score(h.LatencyCycles, h.TrafficBytes()) <
+					metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()) {
+				c.OoO = h
+			}
+		}
+	}
+	if c.Static == nil {
+		return Candidate{}, fmt.Errorf("search: no static schedule for tiling %s", f)
+	}
+	return c, nil
+}
+
+// NetworkResult aggregates per-layer results end to end.
+type NetworkResult struct {
+	Network string
+	Arch    string
+	Layers  []*LayerResult
+}
+
+// Totals sums latency and traffic across layers for both schedulers.
+func (nr *NetworkResult) Totals() (oooLat, staticLat, oooTraffic, staticTraffic int64) {
+	for _, lr := range nr.Layers {
+		oooLat += lr.BestOoO.LatencyCycles
+		staticLat += lr.BestStatic.LatencyCycles
+		oooTraffic += lr.BestOoO.TrafficBytes()
+		staticTraffic += lr.BestStatic.TrafficBytes()
+	}
+	return
+}
+
+// Speedup returns the end-to-end latency ratio baseline/OoO.
+func (nr *NetworkResult) Speedup() float64 {
+	oooLat, staticLat, _, _ := nr.Totals()
+	return float64(staticLat) / float64(oooLat)
+}
+
+// TrafficReduction returns the end-to-end traffic ratio baseline/OoO.
+func (nr *NetworkResult) TrafficReduction() float64 {
+	_, _, oooT, staticT := nr.Totals()
+	return float64(staticT) / float64(oooT)
+}
+
+// SearchNetwork searches every layer of the network. Layers run
+// concurrently; repeated layer shapes are served from the cache.
+func SearchNetwork(n nets.Network, opts Options) (*NetworkResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewCache()
+	}
+	if opts.sem == nil {
+		// One shared pool: layer goroutines are cheap coordinators, the
+		// per-tiling scheduling work acquires the slots.
+		opts.sem = make(chan struct{}, opts.workers())
+	}
+	nr := &NetworkResult{Network: n.Name, Arch: opts.Arch.Name, Layers: make([]*LayerResult, len(n.Layers))}
+	errs := make([]error, len(n.Layers))
+	var wg sync.WaitGroup
+	for i, l := range n.Layers {
+		wg.Add(1)
+		go func(i int, l layer.Conv) {
+			defer wg.Done()
+			nr.Layers[i], errs[i] = SearchLayer(l, opts)
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("search: layer %s: %w", n.Layers[i].Name, err)
+		}
+	}
+	return nr, nil
+}

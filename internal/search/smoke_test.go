@@ -1,0 +1,28 @@
+package search
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+)
+
+// TestSmokeSearchLayer exercises the full pipeline on a small layer.
+func TestSmokeSearchLayer(t *testing.T) {
+	cfg, err := arch.Preset("arch1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layer.NewConv("smoke", 28, 28, 64, 64, 3)
+	lr, err := SearchLayer(l, Options{Arch: cfg, Budget: QuickBudget()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tilings=%d", len(lr.Candidates))
+	t.Logf("OoO: factors=%s lat=%d traffic=%d", lr.BestOoO.Factors, lr.BestOoO.LatencyCycles, lr.BestOoO.TrafficBytes())
+	t.Logf("Static(%s): factors=%s lat=%d traffic=%d", lr.BestStaticOrder, lr.BestStatic.Factors, lr.BestStatic.LatencyCycles, lr.BestStatic.TrafficBytes())
+	t.Logf("speedup=%.3f traffic-reduction=%.3f", lr.Speedup(), lr.TrafficReduction())
+	if lr.BestOoO.LatencyCycles <= 0 || lr.BestOoO.TrafficBytes() <= 0 {
+		t.Fatalf("degenerate OoO result: %+v", lr.BestOoO)
+	}
+}

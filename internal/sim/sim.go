@@ -1,0 +1,137 @@
+// Package sim provides the timing substrate of the reproduction: a
+// multi-NPU timeline with one compute resource per core and a single
+// shared DMA channel to off-chip memory. The scheduler issues compute
+// operations and memory transfers against this timeline; latency and
+// overlap fall out of resource availability and dependency times, which
+// is the level of detail the paper's evaluation relies on (per-op
+// latencies come from a cycle model, contention from the shared DMA).
+package sim
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// OpRecord is one scheduled compute operation.
+type OpRecord struct {
+	Op         int   // op index in the DFG
+	NPU        int   // core the op ran on
+	Start, End int64 // cycle interval [Start, End)
+}
+
+// MemKind distinguishes DMA transfer directions and purposes.
+type MemKind uint8
+
+const (
+	// Load moves a tile from off-chip memory into the scratchpad.
+	Load MemKind = iota
+	// Spill writes a dirty tile back to off-chip memory to make room.
+	Spill
+	// Writeback is the final transfer of a finished output tile.
+	Writeback
+)
+
+// String names the transfer kind.
+func (k MemKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Spill:
+		return "spill"
+	case Writeback:
+		return "writeback"
+	}
+	return fmt.Sprintf("MemKind(%d)", uint8(k))
+}
+
+// MemRecord is one scheduled DMA transfer.
+type MemRecord struct {
+	Tile       tile.ID
+	Kind       MemKind
+	Bytes      int64
+	Start, End int64
+}
+
+// Timeline tracks per-core and DMA availability and the schedule built
+// so far. The zero value is not usable; construct with New.
+type Timeline struct {
+	npuFree []int64
+	dmaFree int64
+	ops     []OpRecord
+	mems    []MemRecord
+}
+
+// New returns an empty timeline for the given core count.
+func New(cores int) *Timeline {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sim: cores must be positive, got %d", cores))
+	}
+	return &Timeline{npuFree: make([]int64, cores)}
+}
+
+// Cores returns the number of NPU cores.
+func (t *Timeline) Cores() int { return len(t.npuFree) }
+
+// DMAFree returns the cycle at which the DMA channel next becomes idle.
+func (t *Timeline) DMAFree() int64 { return t.dmaFree }
+
+// NPUFree returns the cycle at which core i next becomes idle.
+func (t *Timeline) NPUFree(i int) int64 { return t.npuFree[i] }
+
+// LeastBusyNPU returns the core with the earliest availability.
+func (t *Timeline) LeastBusyNPU() int {
+	best := 0
+	for i := 1; i < len(t.npuFree); i++ {
+		if t.npuFree[i] < t.npuFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Transfer schedules a DMA transfer of the given latency that may not
+// start before notBefore, and returns its record. Transfers serialize
+// on the single DMA channel.
+func (t *Timeline) Transfer(id tile.ID, kind MemKind, bytes, latency, notBefore int64) MemRecord {
+	start := t.dmaFree
+	if notBefore > start {
+		start = notBefore
+	}
+	rec := MemRecord{Tile: id, Kind: kind, Bytes: bytes, Start: start, End: start + latency}
+	t.dmaFree = rec.End
+	t.mems = append(t.mems, rec)
+	return rec
+}
+
+// Issue schedules op on core npu, not before earliest, for the given
+// number of cycles, and returns its record.
+func (t *Timeline) Issue(op, npu int, earliest, cycles int64) OpRecord {
+	start := t.npuFree[npu]
+	if earliest > start {
+		start = earliest
+	}
+	rec := OpRecord{Op: op, NPU: npu, Start: start, End: start + cycles}
+	t.npuFree[npu] = rec.End
+	t.ops = append(t.ops, rec)
+	return rec
+}
+
+// Makespan returns the cycle at which all scheduled work has finished.
+func (t *Timeline) Makespan() int64 {
+	max := t.dmaFree
+	for _, f := range t.npuFree {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Ops returns the compute records in issue order. The slice aliases
+// internal state; callers must not modify it.
+func (t *Timeline) Ops() []OpRecord { return t.ops }
+
+// Mems returns the DMA records in issue order. The slice aliases
+// internal state; callers must not modify it.
+func (t *Timeline) Mems() []MemRecord { return t.mems }

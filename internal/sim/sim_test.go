@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+func TestNewPanicsOnBadCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTransferSerializesOnDMA(t *testing.T) {
+	tl := New(2)
+	a := tl.Transfer(tile.ID{Kind: tile.In}, Load, 64, 10, 0)
+	b := tl.Transfer(tile.ID{Kind: tile.Wt}, Load, 64, 20, 0)
+	if a.Start != 0 || a.End != 10 {
+		t.Errorf("first transfer [%d,%d), want [0,10)", a.Start, a.End)
+	}
+	if b.Start != 10 || b.End != 30 {
+		t.Errorf("second transfer [%d,%d), want [10,30)", b.Start, b.End)
+	}
+	if tl.DMAFree() != 30 {
+		t.Errorf("DMAFree = %d, want 30", tl.DMAFree())
+	}
+}
+
+func TestTransferHonorsNotBefore(t *testing.T) {
+	tl := New(1)
+	rec := tl.Transfer(tile.ID{}, Spill, 64, 5, 100)
+	if rec.Start != 100 || rec.End != 105 {
+		t.Errorf("transfer [%d,%d), want [100,105)", rec.Start, rec.End)
+	}
+}
+
+func TestIssueAndLeastBusy(t *testing.T) {
+	tl := New(2)
+	r0 := tl.Issue(0, tl.LeastBusyNPU(), 0, 100)
+	if r0.NPU != 0 || r0.Start != 0 || r0.End != 100 {
+		t.Fatalf("first op = %+v", r0)
+	}
+	r1 := tl.Issue(1, tl.LeastBusyNPU(), 0, 50)
+	if r1.NPU != 1 {
+		t.Fatalf("second op on NPU %d, want 1", r1.NPU)
+	}
+	// NPU 1 is free at 50, so it is the least busy.
+	if got := tl.LeastBusyNPU(); got != 1 {
+		t.Fatalf("LeastBusyNPU = %d, want 1", got)
+	}
+	r2 := tl.Issue(2, 1, 200, 10)
+	if r2.Start != 200 || r2.End != 210 {
+		t.Fatalf("earliest not honored: %+v", r2)
+	}
+	if tl.NPUFree(1) != 210 {
+		t.Fatalf("NPUFree(1) = %d", tl.NPUFree(1))
+	}
+}
+
+func TestMakespanCoversComputeAndDMA(t *testing.T) {
+	tl := New(2)
+	tl.Issue(0, 0, 0, 100)
+	if tl.Makespan() != 100 {
+		t.Fatalf("makespan = %d, want 100", tl.Makespan())
+	}
+	tl.Transfer(tile.ID{}, Writeback, 64, 500, 0)
+	if tl.Makespan() != 500 {
+		t.Fatalf("makespan = %d, want 500 (DMA tail)", tl.Makespan())
+	}
+}
+
+func TestRecordsAccumulate(t *testing.T) {
+	tl := New(1)
+	tl.Issue(0, 0, 0, 10)
+	tl.Issue(1, 0, 0, 10)
+	tl.Transfer(tile.ID{}, Load, 8, 4, 0)
+	if len(tl.Ops()) != 2 || len(tl.Mems()) != 1 {
+		t.Fatalf("records: %d ops, %d mems", len(tl.Ops()), len(tl.Mems()))
+	}
+	if tl.Cores() != 1 {
+		t.Fatalf("Cores = %d", tl.Cores())
+	}
+}
+
+func TestMemKindStrings(t *testing.T) {
+	if Load.String() != "load" || Spill.String() != "spill" || Writeback.String() != "writeback" {
+		t.Error("mem kind names changed")
+	}
+	if MemKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

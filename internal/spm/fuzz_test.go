@@ -1,0 +1,48 @@
+package spm
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// FuzzAllocator drives the scratchpad with an operation stream decoded
+// from fuzz input bytes: every byte pair (op, arg) performs one
+// allocator action. The representation invariants must hold after each
+// step under every policy. Run with `go test -fuzz=FuzzAllocator` for
+// continuous fuzzing; the seed corpus runs in normal test mode.
+func FuzzAllocator(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 20, 2, 0, 0, 200, 3, 1})
+	f.Add([]byte{0, 255, 0, 254, 0, 253, 4, 0, 0, 252})
+	f.Add([]byte{0, 1, 5, 0, 0, 2, 5, 1, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, policy := range []Policy{PolicyFlexer, PolicyFirstFit, PolicySmallestFirst} {
+			s := New(4096, policy)
+			uses := make(map[tile.ID]int)
+			ru := usesOf(uses)
+			for i := 0; i+1 < len(data); i += 2 {
+				op, arg := data[i], data[i+1]
+				id := mkID(int(arg) % 24)
+				switch op % 6 {
+				case 0:
+					size := int64(arg)*17 + 1
+					uses[id] = int(arg) % 4
+					s.Allocate(id, size, ru)
+				case 1:
+					s.Evict(id, ru)
+				case 2:
+					s.UnpinAll()
+				case 3:
+					s.Pin(id)
+				case 4:
+					s.SetDirty(id, arg%2 == 0)
+				case 5:
+					s = s.Clone()
+				}
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("policy %v step %d op %d: %v", policy, i/2, op%6, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,593 @@
+// Package spm implements the shared on-chip scratchpad (global buffer)
+// manager of Flexer. Data tiles are assigned to variable-sized blocks,
+// like a linear-scan register allocator with spilling: allocation first
+// tries in-place replacement of an equally-sized dead block, then
+// best-fit placement in free memory, and finally evicts a sequence of
+// victim blocks chosen by the configured spill policy.
+//
+// The default policy is the paper's Algorithm 2: among all contiguous
+// runs of evictable blocks large enough to hold the request, pick the
+// one that minimizes (fragment size, sum of size x remaining-uses,
+// number of blocks), in that order. The two baseline policies of
+// Table 2 — first-fit spilling (MemPolicy1) and smallest-first spilling
+// (MemPolicy2) — are provided for the Figure 12 ablation.
+package spm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Policy selects the spill-victim strategy.
+type Policy uint8
+
+const (
+	// PolicyFlexer is Algorithm 2: minimize fragmentation, then lost
+	// reuse, then block count.
+	PolicyFlexer Policy = iota
+	// PolicyFirstFit spills the first single block large enough to hold
+	// the request (MemPolicy1).
+	PolicyFirstFit
+	// PolicySmallestFirst repeatedly spills the smallest evictable
+	// block until a sufficiently large free region exists (MemPolicy2).
+	PolicySmallestFirst
+)
+
+// String names the policy as in the paper.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFlexer:
+		return "flexer"
+	case PolicyFirstFit:
+		return "first-fit"
+	case PolicySmallestFirst:
+		return "small-spill"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// region is one address range of the scratchpad: either an allocated
+// tile block or free space. Regions tile the address space exactly.
+type region struct {
+	addr, size int64
+	id         tile.ID
+	alloc      bool
+	dirty      bool
+	pin        bool
+}
+
+// Eviction records one block removed from the scratchpad. Dirty
+// evictions correspond to spill (write-back) memory operations; clean
+// evictions drop read-only data that still resides off-chip and cost no
+// traffic, only future reuse.
+type Eviction struct {
+	ID         tile.ID
+	Size       int64
+	Dirty      bool
+	RemainUses int
+}
+
+// SPM manages one scratchpad. It is not safe for concurrent use.
+type SPM struct {
+	cap     int64
+	regs    []region
+	index   map[tile.ID]int64 // tile -> block address
+	used    int64
+	policy  Policy
+	inPlace bool
+}
+
+// New returns an empty scratchpad of the given capacity using the given
+// spill policy. In-place replacement is enabled by default.
+func New(capacity int64, policy Policy) *SPM {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spm: capacity must be positive, got %d", capacity))
+	}
+	return &SPM{
+		cap:     capacity,
+		regs:    []region{{addr: 0, size: capacity}},
+		index:   make(map[tile.ID]int64),
+		policy:  policy,
+		inPlace: true,
+	}
+}
+
+// SetInPlace enables or disables the in-place replacement fast path
+// (used by the ablation benchmarks).
+func (s *SPM) SetInPlace(enabled bool) { s.inPlace = enabled }
+
+// Clone returns a deep copy sharing no state with s.
+func (s *SPM) Clone() *SPM {
+	c := &SPM{
+		cap:     s.cap,
+		regs:    append([]region(nil), s.regs...),
+		index:   make(map[tile.ID]int64, len(s.index)),
+		used:    s.used,
+		policy:  s.policy,
+		inPlace: s.inPlace,
+	}
+	for k, v := range s.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// Capacity returns the scratchpad size in bytes.
+func (s *SPM) Capacity() int64 { return s.cap }
+
+// AllocatedBytes returns the total bytes currently allocated.
+func (s *SPM) AllocatedBytes() int64 { return s.used }
+
+// FreeBytes returns the total unallocated bytes (possibly fragmented).
+func (s *SPM) FreeBytes() int64 { return s.cap - s.used }
+
+// Utilization returns allocated/capacity in [0,1].
+func (s *SPM) Utilization() float64 { return float64(s.used) / float64(s.cap) }
+
+// Has reports whether tile id currently resides in the scratchpad.
+func (s *SPM) Has(id tile.ID) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// NumBlocks returns the number of allocated blocks.
+func (s *SPM) NumBlocks() int { return len(s.index) }
+
+func (s *SPM) regionOf(id tile.ID) int {
+	addr, ok := s.index[id]
+	if !ok {
+		return -1
+	}
+	return s.find(addr)
+}
+
+// find returns the index of the region starting at addr (which must
+// exist).
+func (s *SPM) find(addr int64) int {
+	i := sort.Search(len(s.regs), func(i int) bool { return s.regs[i].addr >= addr })
+	if i == len(s.regs) || s.regs[i].addr != addr {
+		panic(fmt.Sprintf("spm: no region at address %#x", addr))
+	}
+	return i
+}
+
+// Pin marks tile id unevictable until Unpin. Pinning a tile not present
+// is a no-op returning false.
+func (s *SPM) Pin(id tile.ID) bool {
+	if i := s.regionOf(id); i >= 0 {
+		s.regs[i].pin = true
+		return true
+	}
+	return false
+}
+
+// Unpin clears the pin on tile id if present.
+func (s *SPM) Unpin(id tile.ID) {
+	if i := s.regionOf(id); i >= 0 {
+		s.regs[i].pin = false
+	}
+}
+
+// UnpinAll clears every pin.
+func (s *SPM) UnpinAll() {
+	for i := range s.regs {
+		s.regs[i].pin = false
+	}
+}
+
+// SetDirty marks whether tile id holds state not yet written off-chip
+// (partial sums and finished outputs). Dirty tiles cost a write-back
+// when evicted.
+func (s *SPM) SetDirty(id tile.ID, dirty bool) {
+	if i := s.regionOf(id); i >= 0 {
+		s.regs[i].dirty = dirty
+	}
+}
+
+// IsDirty reports whether tile id is present and dirty.
+func (s *SPM) IsDirty(id tile.ID) bool {
+	i := s.regionOf(id)
+	return i >= 0 && s.regs[i].dirty
+}
+
+// BlockInfo describes one allocated block for inspection.
+type BlockInfo struct {
+	ID            tile.ID
+	Addr, Size    int64
+	Dirty, Pinned bool
+}
+
+// Blocks returns the allocated blocks in address order.
+func (s *SPM) Blocks() []BlockInfo {
+	out := make([]BlockInfo, 0, len(s.index))
+	for _, r := range s.regs {
+		if r.alloc {
+			out = append(out, BlockInfo{ID: r.id, Addr: r.addr, Size: r.size, Dirty: r.dirty, Pinned: r.pin})
+		}
+	}
+	return out
+}
+
+// LargestFree returns the size of the largest contiguous free region.
+func (s *SPM) LargestFree() int64 {
+	var max int64
+	for _, r := range s.regs {
+		if !r.alloc && r.size > max {
+			max = r.size
+		}
+	}
+	return max
+}
+
+// Evict removes tile id from the scratchpad, returning its eviction
+// record. It reports false when the tile is not present. remainUses is
+// consulted for the eviction record; it may be nil.
+func (s *SPM) Evict(id tile.ID, remainUses func(tile.ID) int) (Eviction, bool) {
+	i := s.regionOf(id)
+	if i < 0 {
+		return Eviction{}, false
+	}
+	ev := s.evictAt(i, remainUses)
+	s.coalesceAround(i)
+	return ev, true
+}
+
+// evictAt turns the allocated region at index i into free space and
+// returns the eviction record. It does not coalesce.
+func (s *SPM) evictAt(i int, remainUses func(tile.ID) int) Eviction {
+	r := &s.regs[i]
+	if !r.alloc {
+		panic("spm: evictAt on free region")
+	}
+	ru := 0
+	if remainUses != nil {
+		ru = remainUses(r.id)
+	}
+	ev := Eviction{ID: r.id, Size: r.size, Dirty: r.dirty, RemainUses: ru}
+	delete(s.index, r.id)
+	s.used -= r.size
+	r.alloc = false
+	r.dirty = false
+	r.pin = false
+	r.id = tile.ID{}
+	return ev
+}
+
+// coalesceAround merges the region at index i with free neighbours.
+func (s *SPM) coalesceAround(i int) {
+	if s.regs[i].alloc {
+		return
+	}
+	lo, hi := i, i
+	for lo > 0 && !s.regs[lo-1].alloc {
+		lo--
+	}
+	for hi+1 < len(s.regs) && !s.regs[hi+1].alloc {
+		hi++
+	}
+	if lo == hi {
+		return
+	}
+	var size int64
+	for j := lo; j <= hi; j++ {
+		size += s.regs[j].size
+	}
+	s.regs[lo] = region{addr: s.regs[lo].addr, size: size}
+	s.regs = append(s.regs[:lo+1], s.regs[hi+1:]...)
+}
+
+// ErrNoSpace is returned by Allocate when the request cannot be placed
+// even after evicting every unpinned block.
+type ErrNoSpace struct {
+	ID   tile.ID
+	Size int64
+}
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("spm: cannot place %v (%d bytes): insufficient evictable space", e.ID, e.Size)
+}
+
+// Allocate places tile id (size bytes) in the scratchpad and pins it.
+// It returns the evictions performed to make room. If the tile is
+// already present it is pinned and no work is done. The remainUses
+// function supplies the remaining-use count of resident tiles for the
+// spill heuristics; it must not be nil.
+func (s *SPM) Allocate(id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("spm: allocation size must be positive, got %d for %v", size, id)
+	}
+	if i := s.regionOf(id); i >= 0 {
+		s.regs[i].pin = true
+		return nil, nil
+	}
+	if size > s.cap {
+		return nil, &ErrNoSpace{ID: id, Size: size}
+	}
+
+	// 1. In-place replacement: an equally-sized, dead, unpinned block.
+	// Prefer clean victims (no write-back traffic).
+	if s.inPlace {
+		best := -1
+		for i := range s.regs {
+			r := &s.regs[i]
+			if !r.alloc || r.pin || r.size != size || remainUses(r.id) != 0 {
+				continue
+			}
+			if best < 0 || (!r.dirty && s.regs[best].dirty) {
+				best = i
+			}
+			if !r.dirty {
+				break
+			}
+		}
+		if best >= 0 {
+			ev := s.evictAt(best, remainUses)
+			s.place(best, id, size)
+			return []Eviction{ev}, nil
+		}
+	}
+
+	// 2. Best-fit free region.
+	best := -1
+	for i := range s.regs {
+		r := &s.regs[i]
+		if r.alloc || r.size < size {
+			continue
+		}
+		if best < 0 || r.size < s.regs[best].size {
+			best = i
+		}
+	}
+	if best >= 0 {
+		s.place(best, id, size)
+		return nil, nil
+	}
+
+	// 3. Spill victims according to the policy.
+	switch s.policy {
+	case PolicySmallestFirst:
+		return s.allocateSmallestFirst(id, size, remainUses)
+	default:
+		run, ok := s.findVictimRun(size, remainUses)
+		if !ok {
+			return nil, &ErrNoSpace{ID: id, Size: size}
+		}
+		return s.evictRunAndPlace(run, id, size, remainUses)
+	}
+}
+
+// place installs tile id into the free region at index i, splitting a
+// trailing fragment if the region is larger than size. The new block is
+// pinned.
+func (s *SPM) place(i int, id tile.ID, size int64) {
+	r := s.regs[i]
+	if r.alloc || r.size < size {
+		panic("spm: place on unsuitable region")
+	}
+	blk := region{addr: r.addr, size: size, id: id, alloc: true, pin: true}
+	if r.size == size {
+		s.regs[i] = blk
+	} else {
+		frag := region{addr: r.addr + size, size: r.size - size}
+		s.regs = append(s.regs, region{})
+		copy(s.regs[i+2:], s.regs[i+1:])
+		s.regs[i] = blk
+		s.regs[i+1] = frag
+	}
+	s.index[id] = blk.addr
+	s.used += size
+}
+
+// run identifies a contiguous window of region indices [lo, hi].
+type run struct{ lo, hi int }
+
+// findVictimRun implements the policy-specific search for a contiguous
+// window of evictable (unpinned) and free regions whose total size
+// covers the request.
+func (s *SPM) findVictimRun(size int64, remainUses func(tile.ID) int) (run, bool) {
+	switch s.policy {
+	case PolicyFirstFit:
+		return s.findFirstFitRun(size)
+	default:
+		return s.findAlg2Run(size, remainUses)
+	}
+}
+
+// findAlg2Run is Algorithm 2 of the paper: over all (start, end) windows
+// of consecutive unpinned regions with total size >= required, choose
+// the window minimizing (fragment size, sum of size x remaining uses,
+// block count). Free regions contribute size but no disadvantage.
+func (s *SPM) findAlg2Run(size int64, remainUses func(tile.ID) int) (run, bool) {
+	bestFrag := int64(-1)
+	bestDisadv := int64(-1)
+	bestBlocks := 0
+	var best run
+	found := false
+	for lo := 0; lo < len(s.regs); lo++ {
+		if s.regs[lo].pin {
+			continue
+		}
+		var spillSize, disadv int64
+		blocks := 0
+		for hi := lo; hi < len(s.regs); hi++ {
+			r := &s.regs[hi]
+			if r.pin {
+				break
+			}
+			spillSize += r.size
+			if r.alloc {
+				disadv += r.size * int64(remainUses(r.id))
+				blocks++
+			}
+			if spillSize < size {
+				continue
+			}
+			frag := spillSize - size
+			pick := false
+			switch {
+			case !found || frag < bestFrag:
+				pick = true
+			case frag == bestFrag && disadv < bestDisadv:
+				pick = true
+			case frag == bestFrag && disadv == bestDisadv && blocks < bestBlocks:
+				pick = true
+			}
+			if pick {
+				best = run{lo, hi}
+				bestFrag, bestDisadv, bestBlocks = frag, disadv, blocks
+				found = true
+			}
+			break // longer windows only add fragmentation
+		}
+	}
+	return best, found
+}
+
+// findFirstFitRun is MemPolicy1: the first single unpinned allocated
+// block large enough (counting adjacent free space) to hold the
+// request; if no single block suffices, the first window that does.
+func (s *SPM) findFirstFitRun(size int64) (run, bool) {
+	for i := range s.regs {
+		r := &s.regs[i]
+		if !r.alloc || r.pin {
+			continue
+		}
+		// Include free neighbours, matching how an implementation
+		// would reuse the hole plus surrounding gaps.
+		lo, hi := i, i
+		total := r.size
+		for lo > 0 && !s.regs[lo-1].alloc {
+			lo--
+			total += s.regs[lo].size
+		}
+		for hi+1 < len(s.regs) && !s.regs[hi+1].alloc {
+			hi++
+			total += s.regs[hi].size
+		}
+		if total >= size {
+			return run{lo, hi}, true
+		}
+	}
+	// Fallback: first multi-block window that fits, to guarantee
+	// progress on requests larger than any single block.
+	for lo := 0; lo < len(s.regs); lo++ {
+		if s.regs[lo].pin {
+			continue
+		}
+		var total int64
+		for hi := lo; hi < len(s.regs); hi++ {
+			if s.regs[hi].pin {
+				break
+			}
+			total += s.regs[hi].size
+			if total >= size {
+				return run{lo, hi}, true
+			}
+		}
+	}
+	return run{}, false
+}
+
+// evictRunAndPlace evicts the allocated regions inside the window,
+// coalesces the result into one free region, and places the new block
+// at its start.
+func (s *SPM) evictRunAndPlace(w run, id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
+	startAddr := s.regs[w.lo].addr
+	var evs []Eviction
+	for i := w.lo; i <= w.hi; i++ {
+		if s.regs[i].alloc {
+			evs = append(evs, s.evictAt(i, remainUses))
+		}
+	}
+	s.coalesceAround(w.lo)
+	// Coalescing may have absorbed free neighbours before the window;
+	// locate the free region containing the window's start address.
+	i := sort.Search(len(s.regs), func(i int) bool {
+		return s.regs[i].addr+s.regs[i].size > startAddr
+	})
+	if i == len(s.regs) || s.regs[i].alloc {
+		panic("spm: evicted window is not free")
+	}
+	s.place(i, id, size)
+	return evs, nil
+}
+
+// allocateSmallestFirst is MemPolicy2: repeatedly evict the smallest
+// unpinned block until a free region large enough exists.
+func (s *SPM) allocateSmallestFirst(id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
+	var evs []Eviction
+	for {
+		// A free region may have become large enough.
+		best := -1
+		for i := range s.regs {
+			r := &s.regs[i]
+			if r.alloc || r.size < size {
+				continue
+			}
+			if best < 0 || r.size < s.regs[best].size {
+				best = i
+			}
+		}
+		if best >= 0 {
+			s.place(best, id, size)
+			return evs, nil
+		}
+		smallest := -1
+		for i := range s.regs {
+			r := &s.regs[i]
+			if !r.alloc || r.pin {
+				continue
+			}
+			if smallest < 0 || r.size < s.regs[smallest].size {
+				smallest = i
+			}
+		}
+		if smallest < 0 {
+			return evs, &ErrNoSpace{ID: id, Size: size}
+		}
+		evs = append(evs, s.evictAt(smallest, remainUses))
+		s.coalesceAround(smallest)
+	}
+}
+
+// CheckInvariants verifies the internal representation: regions tile
+// [0, capacity) exactly, free neighbours are coalesced, and the tile
+// index matches the regions. Intended for tests.
+func (s *SPM) CheckInvariants() error {
+	var addr int64
+	allocBytes := int64(0)
+	allocated := make(map[tile.ID]bool)
+	for i, r := range s.regs {
+		if r.addr != addr {
+			return fmt.Errorf("region %d: addr %#x, want %#x", i, r.addr, addr)
+		}
+		if r.size <= 0 {
+			return fmt.Errorf("region %d: non-positive size %d", i, r.size)
+		}
+		if r.alloc {
+			allocBytes += r.size
+			if allocated[r.id] {
+				return fmt.Errorf("tile %v allocated twice", r.id)
+			}
+			allocated[r.id] = true
+			if got, ok := s.index[r.id]; !ok || got != r.addr {
+				return fmt.Errorf("index for %v: got %#x ok=%v, want %#x", r.id, got, ok, r.addr)
+			}
+		} else if i+1 < len(s.regs) && !s.regs[i+1].alloc {
+			return fmt.Errorf("regions %d and %d both free (not coalesced)", i, i+1)
+		}
+		addr += r.size
+	}
+	if addr != s.cap {
+		return fmt.Errorf("regions cover %d bytes, capacity %d", addr, s.cap)
+	}
+	if allocBytes != s.used {
+		return fmt.Errorf("allocated bytes %d, tracked %d", allocBytes, s.used)
+	}
+	if len(allocated) != len(s.index) {
+		return fmt.Errorf("%d allocated regions, %d index entries", len(allocated), len(s.index))
+	}
+	return nil
+}

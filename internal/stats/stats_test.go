@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+func schedulePressure(t *testing.T) (*dfg.Graph, *sched.Result) {
+	t.Helper()
+	a := arch.New("t", 2, arch.KiB(256), 32)
+	l := layer.NewConv("p", 28, 28, 128, 128, 3)
+	g, err := tile.NewGrid(l, tile.Factors{OH: 14, OW: 14, OC: 32, IC: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := dfg.Build(g, model.New(a))
+	r, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr, r
+}
+
+func TestMovementsConsistent(t *testing.T) {
+	_, r := schedulePressure(t)
+	ms := Movements(r)
+	var total int64
+	for k := 0; k < tile.NumKinds; k++ {
+		m := ms[k]
+		if m.Kind != tile.Kind(k) {
+			t.Errorf("kind %d mislabeled %v", k, m.Kind)
+		}
+		total += m.TotalBytes
+		hist := 0
+		for moves, tiles := range m.ReloadHistogram {
+			if moves <= 0 || tiles <= 0 {
+				t.Errorf("%v: degenerate histogram entry %d:%d", m.Kind, moves, tiles)
+			}
+			hist += moves * tiles
+			if moves > m.MaxMoves {
+				t.Errorf("%v: histogram entry %d above MaxMoves %d", m.Kind, moves, m.MaxMoves)
+			}
+		}
+		if hist != m.Transfers {
+			t.Errorf("%v: histogram accounts %d transfers, recorded %d", m.Kind, hist, m.Transfers)
+		}
+	}
+	if total != r.TrafficBytes() {
+		t.Errorf("movements total %d != schedule traffic %d", total, r.TrafficBytes())
+	}
+}
+
+func TestOnChipIdealIsLowerBound(t *testing.T) {
+	gr, r := schedulePressure(t)
+	ideal := OnChipIdeal(gr.Grid)
+	ms := Movements(r)
+	for k := 0; k < tile.NumKinds; k++ {
+		if ms[k].TotalBytes < ideal[k] {
+			t.Errorf("%v: schedule moved %d bytes, below on-chip ideal %d",
+				tile.Kind(k), ms[k].TotalBytes, ideal[k])
+		}
+	}
+}
+
+func TestReusePattern(t *testing.T) {
+	var none [tile.NumKinds]bool
+	if got := ReusePattern(none); got != "none" {
+		t.Errorf("empty pattern = %q", got)
+	}
+	var inwt [tile.NumKinds]bool
+	inwt[tile.In] = true
+	inwt[tile.Wt] = true
+	if got := ReusePattern(inwt); got != "IN+WT" {
+		t.Errorf("IN+WT pattern = %q", got)
+	}
+	var wt [tile.NumKinds]bool
+	wt[tile.Wt] = true
+	if got := ReusePattern(wt); got != "WT" {
+		t.Errorf("WT pattern = %q", got)
+	}
+}
+
+func TestReusePatternsCoverAllSets(t *testing.T) {
+	_, r := schedulePressure(t)
+	counts := ReusePatterns(r)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(r.Sets) {
+		t.Errorf("patterns cover %d sets, schedule has %d", total, len(r.Sets))
+	}
+	if DistinctPatterns(r) < 1 {
+		t.Errorf("OoO schedule under pressure shows %d reuse patterns, want >= 1", DistinctPatterns(r))
+	}
+}
+
+func TestSortedPatterns(t *testing.T) {
+	counts := map[string]int{"WT": 5, "IN": 5, "none": 10, "IN+WT": 1}
+	got := SortedPatterns(counts)
+	want := []string{"none", "IN", "WT", "IN+WT"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedPatterns = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 4) != 2.5 {
+		t.Errorf("Ratio(10,4) = %f", Ratio(10, 4))
+	}
+	if Ratio(10, 0) != 0 {
+		t.Errorf("Ratio(10,0) = %f", Ratio(10, 0))
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.0 KiB",
+		1536:            "1.5 KiB",
+		3 * 1024 * 1024: "3.0 MiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

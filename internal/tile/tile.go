@@ -1,0 +1,279 @@
+// Package tile implements the tiling of a convolution layer into data
+// tiles and tiled operations, the unit Flexer schedules.
+//
+// A tiling is described by Factors (tile extents along the output
+// height, output width, output channel, and input channel dimensions).
+// A Grid combines a layer with factors and provides tile counts,
+// edge-aware tile sizes, and the identity of the data tiles each tiled
+// convolution operation touches.
+package tile
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+)
+
+// Kind distinguishes the three data tile types.
+type Kind uint8
+
+// The tile kinds: input activations, weights, and output activations
+// (which double as partial sums until their last update).
+const (
+	In Kind = iota
+	Wt
+	Out
+	numKinds
+)
+
+// String returns "IN", "WT" or "OT".
+func (k Kind) String() string {
+	switch k {
+	case In:
+		return "IN"
+	case Wt:
+		return "WT"
+	case Out:
+		return "OT"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NumKinds is the number of distinct tile kinds.
+const NumKinds = int(numKinds)
+
+// ID identifies a data tile within a tiled layer. The meaning of the
+// three coordinates depends on Kind:
+//
+//	In:  A = output-row block, B = output-col block, C = in-channel block
+//	Wt:  A = out-channel block, B = in-channel block,  C = 0
+//	Out: A = output-row block, B = output-col block, C = out-channel block
+//
+// Input tiles are indexed by the output block they feed (their extent
+// includes the kernel halo); adjacent input tiles may overlap in the
+// underlying tensor but are scheduled as distinct data blocks.
+type ID struct {
+	Kind    Kind
+	A, B, C int
+}
+
+// String renders the ID, e.g. "IN(1,0,2)".
+func (id ID) String() string {
+	return fmt.Sprintf("%s(%d,%d,%d)", id.Kind, id.A, id.B, id.C)
+}
+
+// Factors are the tile extents of a tiling: output rows and columns per
+// tile, output channels per tile, and input channels per tile. The
+// input-channel factor controls how many partial-sum accumulation steps
+// each output tile needs (nIC steps).
+type Factors struct {
+	OH, OW, OC, IC int
+}
+
+// String renders the factors, e.g. "14x14x32x64".
+func (f Factors) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", f.OH, f.OW, f.OC, f.IC)
+}
+
+// Validate reports whether the factors are positive.
+func (f Factors) Validate() error {
+	if f.OH <= 0 || f.OW <= 0 || f.OC <= 0 || f.IC <= 0 {
+		return fmt.Errorf("tile: factors must be positive: %s", f)
+	}
+	return nil
+}
+
+// Grid is a layer partitioned by a tiling. It precomputes tile counts
+// and provides size and operand queries. Grid is immutable and safe for
+// concurrent use.
+type Grid struct {
+	Layer   layer.Conv
+	F       Factors
+	OutH    int   // layer output height
+	OutW    int   // layer output width
+	NOH     int   // number of row blocks
+	NOW     int   // number of column blocks
+	NOC     int   // number of out-channel blocks
+	NIC     int   // number of in-channel blocks
+	rowSize []int // output rows per row block (edge-aware)
+	colSize []int
+	ocSize  []int
+	icSize  []int
+	inRowSz []int // input rows read per row block (halo- and edge-aware)
+	inColSz []int
+}
+
+// NewGrid builds the tile grid of l under factors f. Factors larger
+// than the corresponding layer dimension are clamped.
+func NewGrid(l layer.Conv, f Factors) (*Grid, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	outH, outW := l.OutH(), l.OutW()
+	f.OH = min(f.OH, outH)
+	f.OW = min(f.OW, outW)
+	f.OC = min(f.OC, l.OutC)
+	f.IC = min(f.IC, l.InC)
+	g := &Grid{
+		Layer: l,
+		F:     f,
+		OutH:  outH,
+		OutW:  outW,
+		NOH:   ceilDiv(outH, f.OH),
+		NOW:   ceilDiv(outW, f.OW),
+		NOC:   ceilDiv(l.OutC, f.OC),
+		NIC:   ceilDiv(l.InC, f.IC),
+	}
+	g.rowSize = blockSizes(outH, f.OH)
+	g.colSize = blockSizes(outW, f.OW)
+	g.ocSize = blockSizes(l.OutC, f.OC)
+	g.icSize = blockSizes(l.InC, f.IC)
+	g.inRowSz = make([]int, g.NOH)
+	for h := 0; h < g.NOH; h++ {
+		_, n := layer.InputRange(h*f.OH, g.rowSize[h], l.KerH, l.StrideH, l.PadH, l.InH)
+		g.inRowSz[h] = n
+	}
+	g.inColSz = make([]int, g.NOW)
+	for w := 0; w < g.NOW; w++ {
+		_, n := layer.InputRange(w*f.OW, g.colSize[w], l.KerW, l.StrideW, l.PadW, l.InW)
+		g.inColSz[w] = n
+	}
+	return g, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func blockSizes(total, per int) []int {
+	n := ceilDiv(total, per)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		sz := per
+		if rem := total - i*per; rem < sz {
+			sz = rem
+		}
+		out[i] = sz
+	}
+	return out
+}
+
+// NumOps returns the total number of tiled convolution operations:
+// NOH * NOW * NOC * NIC.
+func (g *Grid) NumOps() int { return g.NOH * g.NOW * g.NOC * g.NIC }
+
+// NumTiles returns the number of distinct data tiles of the given kind.
+func (g *Grid) NumTiles(k Kind) int {
+	switch k {
+	case In:
+		return g.NOH * g.NOW * g.NIC
+	case Wt:
+		return g.NOC * g.NIC
+	case Out:
+		return g.NOH * g.NOW * g.NOC
+	}
+	return 0
+}
+
+// Size returns the byte size of the tile identified by id.
+func (g *Grid) Size(id ID) int64 {
+	eb := int64(g.Layer.ElemBytes)
+	switch id.Kind {
+	case In:
+		return int64(g.inRowSz[id.A]) * int64(g.inColSz[id.B]) * int64(g.icSize[id.C]) * eb
+	case Wt:
+		return int64(g.Layer.KerH) * int64(g.Layer.KerW) * int64(g.icSize[id.B]) * int64(g.ocSize[id.A]) * eb
+	case Out:
+		return int64(g.rowSize[id.A]) * int64(g.colSize[id.B]) * int64(g.ocSize[id.C]) * eb
+	}
+	return 0
+}
+
+// InTile returns the input tile read by the op at block coordinates
+// (oh, ow, *, ic).
+func (g *Grid) InTile(oh, ow, ic int) ID { return ID{Kind: In, A: oh, B: ow, C: ic} }
+
+// WtTile returns the weight tile read by the op at block coordinates
+// (*, *, oc, ic).
+func (g *Grid) WtTile(oc, ic int) ID { return ID{Kind: Wt, A: oc, B: ic} }
+
+// OutTile returns the output tile written by ops at block coordinates
+// (oh, ow, oc, *).
+func (g *Grid) OutTile(oh, ow, oc int) ID { return ID{Kind: Out, A: oh, B: ow, C: oc} }
+
+// OpDims returns the element extents of the op at block coordinates
+// (oh, ow, oc, ic): output rows, cols and channels of the tile and the
+// number of input channels accumulated by this step.
+func (g *Grid) OpDims(oh, ow, oc, ic int) (rows, cols, ochs, ichs int) {
+	return g.rowSize[oh], g.colSize[ow], g.ocSize[oc], g.icSize[ic]
+}
+
+// MaxOperandBytes returns the largest combined operand footprint of any
+// single op under this grid: input tile + weight tile + output tile.
+// A tiling is infeasible on an SPM smaller than this.
+func (g *Grid) MaxOperandBytes() int64 {
+	var maxIn, maxWt, maxOut int64
+	for h := 0; h < g.NOH; h++ {
+		for w := 0; w < g.NOW; w++ {
+			for i := 0; i < g.NIC; i++ {
+				if s := g.Size(g.InTile(h, w, i)); s > maxIn {
+					maxIn = s
+				}
+			}
+		}
+	}
+	for c := 0; c < g.NOC; c++ {
+		for i := 0; i < g.NIC; i++ {
+			if s := g.Size(g.WtTile(c, i)); s > maxWt {
+				maxWt = s
+			}
+		}
+	}
+	for h := 0; h < g.NOH; h++ {
+		for w := 0; w < g.NOW; w++ {
+			for c := 0; c < g.NOC; c++ {
+				if s := g.Size(g.OutTile(h, w, c)); s > maxOut {
+					maxOut = s
+				}
+			}
+		}
+	}
+	return maxIn + maxWt + maxOut
+}
+
+// TotalTileBytes returns the summed size of all distinct tiles of kind
+// k. For In this exceeds the raw tensor size when halos overlap.
+func (g *Grid) TotalTileBytes(k Kind) int64 {
+	var total int64
+	switch k {
+	case In:
+		for h := 0; h < g.NOH; h++ {
+			for w := 0; w < g.NOW; w++ {
+				for i := 0; i < g.NIC; i++ {
+					total += g.Size(g.InTile(h, w, i))
+				}
+			}
+		}
+	case Wt:
+		for c := 0; c < g.NOC; c++ {
+			for i := 0; i < g.NIC; i++ {
+				total += g.Size(g.WtTile(c, i))
+			}
+		}
+	case Out:
+		for h := 0; h < g.NOH; h++ {
+			for w := 0; w < g.NOW; w++ {
+				for c := 0; c < g.NOC; c++ {
+					total += g.Size(g.OutTile(h, w, c))
+				}
+			}
+		}
+	}
+	return total
+}
+
+// String summarizes the grid.
+func (g *Grid) String() string {
+	return fmt.Sprintf("grid %s: %dx%dx%dx%d blocks, %d ops", g.F, g.NOH, g.NOW, g.NOC, g.NIC, g.NumOps())
+}

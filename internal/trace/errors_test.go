@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes written.
+type failWriter struct {
+	n int
+}
+
+var errSink = errors.New("sink failed")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errSink
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errSink
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	r := scheduleSmall(t)
+	if err := WriteJSON(&failWriter{n: 10}, r, true); err == nil {
+		t.Error("WriteJSON swallowed writer error")
+	}
+	if err := WriteCSV(&failWriter{}, r); err == nil {
+		t.Error("WriteCSV swallowed writer error (header)")
+	}
+	if err := WriteCSV(&failWriter{n: 64}, r); err == nil {
+		t.Error("WriteCSV swallowed writer error (rows)")
+	}
+	if err := WriteGantt(&failWriter{}, r, 40); err == nil {
+		t.Error("WriteGantt swallowed writer error (header)")
+	}
+	if err := WriteGantt(&failWriter{n: 120}, r, 40); err == nil {
+		t.Error("WriteGantt swallowed writer error (rows)")
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/sim"
+)
+
+// WriteGantt renders a textual Gantt chart of the schedule: one row per
+// NPU core plus one row for the DMA channel, bucketed into width
+// columns. Compute buckets print '#', loads 'v', spills/writebacks '^',
+// mixed DMA activity '*', idle '.'. A bucket counts as busy when any
+// cycle in it is busy, so short events remain visible.
+func WriteGantt(w io.Writer, r *sched.Result, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	if r.LatencyCycles <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	cores := 0
+	for _, op := range r.OpRecords {
+		if op.NPU+1 > cores {
+			cores = op.NPU + 1
+		}
+	}
+	bucket := func(c int64) int {
+		b := int(c * int64(width) / r.LatencyCycles)
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	rows := make([][]byte, cores)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, op := range r.OpRecords {
+		for b := bucket(op.Start); b <= bucket(op.End-1); b++ {
+			rows[op.NPU][b] = '#'
+		}
+	}
+	dma := []byte(strings.Repeat(".", width))
+	for _, m := range r.MemRecords {
+		ch := byte('v')
+		if m.Kind != sim.Load {
+			ch = '^'
+		}
+		for b := bucket(m.Start); b <= bucket(m.End-1); b++ {
+			switch dma[b] {
+			case '.':
+				dma[b] = ch
+			case ch:
+			default:
+				dma[b] = '*'
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "schedule %s: %d cycles, %d bytes ('#' compute, 'v' load, '^' write, '*' both)\n",
+		r.Factors, r.LatencyCycles, r.TrafficBytes()); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "npu%-2d |%s|\n", i, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "dma   |%s|\n", dma)
+	return err
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/sched"
+)
+
+func TestWriteGantt(t *testing.T) {
+	r := scheduleSmall(t)
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, r, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 NPUs + DMA.
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "#") {
+		t.Errorf("npu0 row has no compute: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "v") {
+		t.Errorf("dma row has no loads: %q", lines[3])
+	}
+	for _, l := range lines[1:] {
+		if got := len(l[strings.Index(l, "|")+1 : strings.LastIndex(l, "|")]); got != 60 {
+			t.Errorf("row width %d, want 60: %q", got, l)
+		}
+	}
+}
+
+func TestWriteGanttEmptyAndDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, &sched.Result{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty schedule rendered %q", buf.String())
+	}
+	r := scheduleSmall(t)
+	buf.Reset()
+	if err := WriteGantt(&buf, r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("default width produced nothing")
+	}
+}

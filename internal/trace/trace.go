@@ -1,0 +1,117 @@
+// Package trace exports schedules in machine-readable formats (JSON and
+// CSV) for offline inspection and plotting.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Summary is the JSON document describing one schedule.
+type Summary struct {
+	Factors       string     `json:"tiling"`
+	LatencyCycles int64      `json:"latency_cycles"`
+	TrafficBytes  int64      `json:"traffic_bytes"`
+	LoadBytes     int64      `json:"load_bytes"`
+	SpillBytes    int64      `json:"spill_bytes"`
+	WriteBytes    int64      `json:"writeback_bytes"`
+	Kinds         []KindJSON `json:"per_kind"`
+	Ops           []OpJSON   `json:"ops,omitempty"`
+	Mems          []MemJSON  `json:"mem_ops,omitempty"`
+}
+
+// KindJSON is the per-tile-kind traffic breakdown.
+type KindJSON struct {
+	Kind       string `json:"kind"`
+	LoadBytes  int64  `json:"load_bytes"`
+	SpillBytes int64  `json:"spill_bytes"`
+	WriteBytes int64  `json:"writeback_bytes"`
+}
+
+// OpJSON is one scheduled compute op.
+type OpJSON struct {
+	Op    int   `json:"op"`
+	NPU   int   `json:"npu"`
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// MemJSON is one scheduled DMA transfer.
+type MemJSON struct {
+	Tile  string `json:"tile"`
+	Kind  string `json:"kind"`
+	Bytes int64  `json:"bytes"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Build converts a schedule into its JSON document. When full is false
+// the per-op timelines are omitted.
+func Build(r *sched.Result, full bool) Summary {
+	s := Summary{
+		Factors:       r.Factors.String(),
+		LatencyCycles: r.LatencyCycles,
+		TrafficBytes:  r.TrafficBytes(),
+		LoadBytes:     r.LoadBytes,
+		SpillBytes:    r.SpillBytes,
+		WriteBytes:    r.WritebackBytes,
+	}
+	for k := 0; k < tile.NumKinds; k++ {
+		ks := r.PerKind[k]
+		s.Kinds = append(s.Kinds, KindJSON{
+			Kind:       tile.Kind(k).String(),
+			LoadBytes:  ks.LoadBytes,
+			SpillBytes: ks.SpillBytes,
+			WriteBytes: ks.WritebackBytes,
+		})
+	}
+	if full {
+		for _, op := range r.OpRecords {
+			s.Ops = append(s.Ops, OpJSON{Op: op.Op, NPU: op.NPU, Start: op.Start, End: op.End})
+		}
+		for _, m := range r.MemRecords {
+			s.Mems = append(s.Mems, MemJSON{
+				Tile: m.Tile.String(), Kind: m.Kind.String(),
+				Bytes: m.Bytes, Start: m.Start, End: m.End,
+			})
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the schedule as indented JSON.
+func WriteJSON(w io.Writer, r *sched.Result, full bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Build(r, full))
+}
+
+// WriteCSV writes the unified op + DMA timeline as CSV with columns
+// kind,unit,what,bytes,start,end.
+func WriteCSV(w io.Writer, r *sched.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "unit", "what", "bytes", "start", "end"}); err != nil {
+		return err
+	}
+	for _, op := range r.OpRecords {
+		rec := []string{"compute", fmt.Sprintf("npu%d", op.NPU), fmt.Sprintf("op%d", op.Op),
+			"0", fmt.Sprint(op.Start), fmt.Sprint(op.End)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for _, m := range r.MemRecords {
+		rec := []string{m.Kind.String(), "dma", m.Tile.String(),
+			fmt.Sprint(m.Bytes), fmt.Sprint(m.Start), fmt.Sprint(m.End)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

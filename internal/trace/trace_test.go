@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+func scheduleSmall(t *testing.T) *sched.Result {
+	t.Helper()
+	a := arch.New("t", 2, arch.KiB(256), 32)
+	l := layer.NewConv("s", 8, 8, 32, 24, 3)
+	g, err := tile.NewGrid(l, tile.Factors{OH: 4, OW: 4, OC: 12, IC: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := dfg.Build(g, model.New(a))
+	r, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := scheduleSmall(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.LatencyCycles != r.LatencyCycles {
+		t.Errorf("latency %d, want %d", got.LatencyCycles, r.LatencyCycles)
+	}
+	if got.TrafficBytes != r.TrafficBytes() {
+		t.Errorf("traffic %d, want %d", got.TrafficBytes, r.TrafficBytes())
+	}
+	if len(got.Kinds) != tile.NumKinds {
+		t.Errorf("%d kinds, want %d", len(got.Kinds), tile.NumKinds)
+	}
+	if len(got.Ops) != len(r.OpRecords) {
+		t.Errorf("%d ops, want %d", len(got.Ops), len(r.OpRecords))
+	}
+	if len(got.Mems) != len(r.MemRecords) {
+		t.Errorf("%d mem ops, want %d", len(got.Mems), len(r.MemRecords))
+	}
+}
+
+func TestWriteJSONSummaryOmitsTimelines(t *testing.T) {
+	r := scheduleSmall(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r, false); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 0 || len(got.Mems) != 0 {
+		t.Errorf("summary included timelines: %d ops, %d mems", len(got.Ops), len(got.Mems))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := scheduleSmall(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	if len(recs) != 1+len(r.OpRecords)+len(r.MemRecords) {
+		t.Fatalf("%d rows, want %d", len(recs), 1+len(r.OpRecords)+len(r.MemRecords))
+	}
+	if recs[0][0] != "kind" || len(recs[0]) != 6 {
+		t.Errorf("header = %v", recs[0])
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) != 6 {
+			t.Errorf("row %d has %d fields", i+1, len(rec))
+		}
+	}
+}
+
+func TestBuildPerKindTotalsMatch(t *testing.T) {
+	r := scheduleSmall(t)
+	s := Build(r, false)
+	var loads, spills, wbs int64
+	for _, k := range s.Kinds {
+		loads += k.LoadBytes
+		spills += k.SpillBytes
+		wbs += k.WriteBytes
+	}
+	if loads != s.LoadBytes || spills != s.SpillBytes || wbs != s.WriteBytes {
+		t.Errorf("per-kind sums (%d,%d,%d) != totals (%d,%d,%d)",
+			loads, spills, wbs, s.LoadBytes, s.SpillBytes, s.WriteBytes)
+	}
+}
