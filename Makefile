@@ -1,0 +1,27 @@
+# Tier-1 gate: everything must build, vet clean, and pass tests under
+# the race detector. CI and pre-commit both run `make check`.
+
+GO ?= go
+
+.PHONY: check build vet test test-short bench run-flexerd
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+# Faster inner-loop variant (skips the slower network-level tests).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+run-flexerd:
+	$(GO) run ./cmd/flexerd

@@ -1,0 +1,95 @@
+// Command flexerd runs the Flexer scheduler as a long-running HTTP
+// daemon: schedule-as-a-service with cross-request result caching, a
+// bounded worker pool and expvar metrics.
+//
+// Usage:
+//
+//	flexerd                          # listen on :8080
+//	flexerd -addr :9000 -workers 4 -cache-size 8192
+//	flexerd -timeout 30s -max-timeout 5m -pprof
+//
+// Endpoints (see docs/API.md for bodies and examples):
+//
+//	POST /v1/schedule/layer    schedule one layer
+//	POST /v1/schedule/network  schedule a whole network
+//	GET  /v1/presets           archs, networks and option enums
+//	GET  /healthz              liveness probe
+//	GET  /debug/vars           metrics (expvar JSON)
+//	GET  /debug/pprof/         profiling (with -pprof)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests for up to 10 seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/flexer-sched/flexer/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flexerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
+	searchPar := flag.Int("search-parallelism", 0, "per-search worker count (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 0, "result-cache capacity in entries (0 = default, -1 = unbounded)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request search timeout")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested timeouts")
+	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "flexerd ", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		CacheSize:         *cacheSize,
+		Workers:           *workers,
+		SearchParallelism: *searchPar,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		EnablePprof:       *enablePprof,
+		Log:               logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		logger.Printf("received %v, draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Printf("bye")
+	return nil
+}

@@ -41,6 +41,37 @@ func ExampleSearchLayer() {
 	// ooo moves no more data: true
 }
 
+// ExampleSearchLayer_cache shares one bounded result cache across
+// searches: repeated layer shapes (here the same shape under two
+// names) are computed once and served from memory afterwards, the
+// "memory function" the paper suggests to tame the ~20 h search.
+func ExampleSearchLayer_cache() {
+	cfg, err := flexer.Preset("arch1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := flexer.Options{
+		Arch:   cfg,
+		Budget: flexer.QuickBudget(),
+		Cache:  flexer.NewCacheSized(1024),
+	}
+	first, err := flexer.SearchLayer(flexer.NewConv("block1", 14, 14, 64, 64, 3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Same shape, different name: served from the cache.
+	second, err := flexer.SearchLayer(flexer.NewConv("block2", 14, 14, 64, 64, 3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := opts.Cache.Stats()
+	fmt.Printf("identical schedules: %v\n", first.BestOoO.LatencyCycles == second.BestOoO.LatencyCycles)
+	fmt.Printf("misses: %d, hits: %d\n", stats.Misses, stats.Hits)
+	// Output:
+	// identical schedules: true
+	// misses: 1, hits: 1
+}
+
 // ExampleNetworkByName lists the layers of a built-in network.
 func ExampleNetworkByName() {
 	net, err := flexer.NetworkByName("vgg16")

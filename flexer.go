@@ -21,6 +21,7 @@
 package flexer
 
 import (
+	"context"
 	"io"
 
 	"github.com/flexer-sched/flexer/internal/arch"
@@ -64,6 +65,8 @@ type (
 	Candidate = search.Candidate
 	// Cache memoizes layer searches across calls.
 	Cache = search.Cache
+	// CacheStats is a snapshot of cache hit/miss/eviction counters.
+	CacheStats = search.CacheStats
 	// Priority selects the operation-set priority function.
 	Priority = sched.Priority
 	// MemPolicy selects the scratchpad spill policy.
@@ -142,8 +145,13 @@ func MetricDefault() Metric { return search.MetricDefault() }
 // MetricMinTransfer weights traffic far above latency (Figure 9b).
 func MetricMinTransfer() Metric { return search.MetricMinTransfer() }
 
-// NewCache returns an empty layer-search cache.
+// NewCache returns an empty layer-search cache bounded to the default
+// capacity.
 func NewCache() *Cache { return search.NewCache() }
+
+// NewCacheSized returns an empty layer-search cache holding at most
+// capacity results (<= 0 means unbounded).
+func NewCacheSized(capacity int) *Cache { return search.NewCacheSized(capacity) }
 
 // Tilings enumerates the feasible tilings of a layer on an arch under
 // the given budget, as the search would consider them.
@@ -205,10 +213,21 @@ func SearchLayer(l Conv, opts Options) (*LayerResult, error) {
 	return search.SearchLayer(l, opts)
 }
 
+// SearchLayerCtx is SearchLayer with cancellation: the search aborts
+// at its next tiling or dataflow boundary once ctx is done.
+func SearchLayerCtx(ctx context.Context, l Conv, opts Options) (*LayerResult, error) {
+	return search.SearchLayerCtx(ctx, l, opts)
+}
+
 // SearchNetwork searches every layer of a network and aggregates
 // end-to-end latency and traffic for both schedulers.
 func SearchNetwork(n Network, opts Options) (*NetworkResult, error) {
 	return search.SearchNetwork(n, opts)
+}
+
+// SearchNetworkCtx is SearchNetwork with cancellation.
+func SearchNetworkCtx(ctx context.Context, n Network, opts Options) (*NetworkResult, error) {
+	return search.SearchNetworkCtx(ctx, n, opts)
 }
 
 // WriteJSON exports a schedule as indented JSON; full includes the

@@ -1,8 +1,12 @@
 package search
 
 import (
+	"container/list"
+	"context"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/flexer-sched/flexer/internal/layer"
 )
@@ -11,54 +15,206 @@ import (
 // layer name), hardware configuration and search options. Networks
 // such as ResNet-50 repeat the same convolution shape many times; the
 // cache collapses those to one search each, the "memory function" the
-// paper suggests to tame the scheduler's runtime. Cache is safe for
-// concurrent use and coalesces concurrent lookups of the same key.
+// paper suggests to tame the scheduler's runtime.
+//
+// The cache is sharded to keep lock contention off the search hot
+// path, optionally bounded (per-shard LRU eviction of completed
+// entries), and safe for concurrent use. Concurrent lookups of the
+// same key are coalesced: the first caller computes, the others wait
+// for the in-flight result (or until their context is cancelled).
+// Hit, miss and eviction counters are exported through Stats for
+// observability layers such as internal/serve.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	shards   []cacheShard
+	capacity int // max completed entries per shard; 0 = unbounded
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
+// cacheShard is one independently locked slice of the key space.
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[string]*cacheEntry
+	lru *list.List // completed entries, front = most recently used
+}
+
+// cacheEntry is one memoized (possibly still in-flight) layer search.
 type cacheEntry struct {
-	done chan struct{}
+	key  string
+	done chan struct{} // closed when lr/err are valid
 	lr   *LayerResult
 	err  error
+	// cancelled marks a search aborted by its caller's context rather
+	// than failed; waiters with live contexts retry instead of
+	// inheriting the cancellation.
+	cancelled bool
+	elem      *list.Element // LRU position once completed, nil while in flight
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[string]*cacheEntry)}
+// cacheShards is the fixed shard count. Sixteen shards keep the map
+// mutexes uncontended even when every GOMAXPROCS worker finishes a
+// layer at once, at a negligible fixed memory cost.
+const cacheShards = 16
+
+// DefaultCacheCapacity bounds NewCache: ResNet-50 has 53 distinct conv
+// shapes, so 4096 distinct (shape, arch, options) results is far beyond
+// any single-process experiment while still bounding a long-running
+// daemon fed adversarial shapes.
+const DefaultCacheCapacity = 4096
+
+// NewCache returns an empty cache bounded to DefaultCacheCapacity
+// entries.
+func NewCache() *Cache { return NewCacheSized(DefaultCacheCapacity) }
+
+// NewCacheSized returns an empty cache holding at most capacity
+// completed results; least-recently-used entries are evicted beyond
+// that. capacity <= 0 means unbounded.
+func NewCacheSized(capacity int) *Cache {
+	c := &Cache{shards: make([]cacheShard, cacheShards)}
+	if capacity > 0 {
+		// Distribute the budget across shards, rounding up so the
+		// total is never below the requested capacity.
+		c.capacity = (capacity + cacheShards - 1) / cacheShards
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits counts lookups served from a completed or in-flight entry.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to run the search.
+	Misses int64 `json:"misses"`
+	// Evictions counts completed entries discarded to stay in bounds.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of entries, including in-flight.
+	Entries int `json:"entries"`
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters and entry
+// count.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
 }
 
 // Len returns the number of distinct entries (including in-flight).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// shard maps a key to its shard by FNV-1a hash.
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
 }
 
 // layer returns the memoized result for l under opts, computing it at
-// most once per key.
-func (c *Cache) layer(l layer.Conv, opts Options) (*LayerResult, error) {
+// most once per key. A context cancellation while waiting on another
+// caller's in-flight search returns ctx.Err() without disturbing the
+// entry; a cancellation of the computing caller removes the entry so a
+// later request retries.
+func (c *Cache) layer(ctx context.Context, l layer.Conv, opts Options) (*LayerResult, error) {
 	key := cacheKey(l, opts)
-	c.mu.Lock()
-	e, ok := c.m[key]
-	if !ok {
-		e = &cacheEntry{done: make(chan struct{})}
-		c.m[key] = e
-		c.mu.Unlock()
-		e.lr, e.err = searchLayerUncached(l, opts)
-		close(e.done)
-	} else {
-		c.mu.Unlock()
-		<-e.done
+	s := c.shard(key)
+
+	for {
+		s.mu.Lock()
+		e, ok := s.m[key]
+		if !ok {
+			e = &cacheEntry{key: key, done: make(chan struct{})}
+			s.m[key] = e
+			s.mu.Unlock()
+			c.misses.Add(1)
+
+			e.lr, e.err = searchLayerUncached(ctx, l, opts)
+
+			s.mu.Lock()
+			if e.err != nil && ctx.Err() != nil {
+				// The search was cancelled, not infeasible: forget the
+				// entry so a later caller with a live context
+				// recomputes.
+				e.cancelled = true
+				delete(s.m, key)
+			} else {
+				s.complete(c, e)
+			}
+			close(e.done)
+			s.mu.Unlock()
+			return finishLookup(e, l)
+		}
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
+		s.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.cancelled {
+			// The computing caller was cancelled; run the search
+			// ourselves (unless we were cancelled too).
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return finishLookup(e, l)
 	}
+}
+
+// finishLookup unwraps a completed entry for one caller, shallow-copying
+// the result so each caller sees its own layer name.
+func finishLookup(e *cacheEntry, l layer.Conv) (*LayerResult, error) {
 	if e.err != nil {
 		return nil, e.err
 	}
-	// Shallow-copy so each caller sees its own layer name.
 	lr := *e.lr
 	lr.Layer = l
 	return &lr, nil
+}
+
+// complete moves a finished entry onto the LRU list and evicts beyond
+// capacity. Caller holds s.mu. In-flight entries are never evicted:
+// they are not on the LRU list until completed.
+func (s *cacheShard) complete(c *Cache, e *cacheEntry) {
+	e.elem = s.lru.PushFront(e)
+	for c.capacity > 0 && s.lru.Len() > c.capacity {
+		oldest := s.lru.Back()
+		victim := oldest.Value.(*cacheEntry)
+		s.lru.Remove(oldest)
+		delete(s.m, victim.key)
+		c.evictions.Add(1)
+	}
 }
 
 // cacheKey fingerprints everything that affects a layer search except

@@ -1,0 +1,224 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/nets"
+)
+
+// TestCacheStatsHitMiss checks the observable miss-then-hit sequence a
+// serving layer relies on.
+func TestCacheStatsHitMiss(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("a", 8, 8, 4, 4, 3)
+
+	if _, err := SearchLayer(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := opts.Cache.Stats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first lookup: %+v, want 1 miss 0 hits", s)
+	}
+
+	// The same shape under a different name must hit.
+	renamed := l
+	renamed.Name = "b"
+	if _, err := SearchLayer(renamed, opts); err != nil {
+		t.Fatal(err)
+	}
+	s = opts.Cache.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("after second lookup: %+v, want 1 miss 1 hit", s)
+	}
+	if got := s.HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %v, want 0.5", got)
+	}
+	if s.Entries != 1 {
+		t.Fatalf("Entries = %d, want 1", s.Entries)
+	}
+}
+
+// TestCacheConcurrent hammers one bounded cache from many goroutines
+// mixing repeated and distinct shapes; run under -race this exercises
+// the sharded locking, and the counters must reconcile exactly:
+// distinct shapes = misses, everything else = hits.
+func TestCacheConcurrent(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	cache := NewCacheSized(1024)
+	opts.Cache = cache
+
+	const workers = 16
+	const perWorker = 8
+	const distinct = 4
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Cycle through `distinct` shapes so every worker
+				// lookups every shape repeatedly.
+				k := (w + i) % distinct
+				l := layer.NewConv(fmt.Sprintf("w%d-i%d", w, i), 8, 8, 4, 4+k, 3)
+				if _, err := SearchLayer(l, opts); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := cache.Stats()
+	if s.Misses != distinct {
+		t.Errorf("misses = %d, want %d (one per distinct shape)", s.Misses, distinct)
+	}
+	if s.Hits != workers*perWorker-distinct {
+		t.Errorf("hits = %d, want %d", s.Hits, workers*perWorker-distinct)
+	}
+	if s.Entries != distinct {
+		t.Errorf("entries = %d, want %d", s.Entries, distinct)
+	}
+	if s.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", s.Evictions)
+	}
+}
+
+// TestCacheEviction checks the LRU bound: a cache of capacity N keeps
+// at most N completed entries, evicts the least recently used first,
+// and serves re-lookups of evicted keys by recomputing.
+func TestCacheEviction(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	cache := NewCacheSized(cacheShards) // capacity 1 per shard
+	opts.Cache = cache
+
+	shape := func(k int) layer.Conv { return layer.NewConv("l", 8, 8, 4, 4+k, 3) }
+
+	// One more distinct shape than total capacity: by pigeonhole some
+	// shard receives two keys and must evict, whatever the hash does.
+	const n = cacheShards + 1
+	for k := 0; k < n; k++ {
+		if _, err := SearchLayer(shape(k), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Misses != n {
+		t.Fatalf("misses = %d, want %d", s.Misses, n)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite inserting one shape more than total capacity")
+	}
+	if s.Entries > cacheShards {
+		t.Fatalf("entries = %d, exceeds capacity %d", s.Entries, cacheShards)
+	}
+
+	// Evicted shapes must be recomputed (fresh misses), not served
+	// stale or failed; cached ones keep hitting.
+	before := cache.Stats()
+	for k := 0; k < n; k++ {
+		if _, err := SearchLayer(shape(k), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cache.Stats()
+	if after.Misses == before.Misses {
+		t.Error("re-looking up all shapes produced no misses; nothing was evicted?")
+	}
+	if after.Hits+after.Misses != before.Hits+before.Misses+n {
+		t.Errorf("lookup accounting off: %+v -> %+v over %d lookups", before, after, n)
+	}
+}
+
+// TestCacheConcurrentEviction mixes eviction pressure with concurrency
+// under -race: a tiny cache, many goroutines, many shapes.
+func TestCacheConcurrentEviction(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	cache := NewCacheSized(cacheShards) // capacity 1 per shard
+	opts.Cache = cache
+
+	const workers = 8
+	const perWorker = 6
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				l := layer.NewConv("l", 8, 8, 4, 4+(w+i)%12, 3)
+				if _, err := SearchLayer(l, opts); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := cache.Stats()
+	if s.Hits+s.Misses != workers*perWorker {
+		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, workers*perWorker)
+	}
+	if s.Entries > cacheShards {
+		t.Errorf("entries = %d, exceeds capacity %d", s.Entries, cacheShards)
+	}
+}
+
+// TestCacheCancelledSearchNotPoisoned checks that a search aborted by
+// its caller's context does not leave a permanently failed entry: a
+// later caller with a live context recomputes and succeeds.
+func TestCacheCancelledSearchNotPoisoned(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("l", 28, 28, 64, 96, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the search aborts at its first check
+	if _, err := SearchLayerCtx(ctx, l, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search returned %v, want context.Canceled", err)
+	}
+
+	lr, err := SearchLayerCtx(context.Background(), l, opts)
+	if err != nil {
+		t.Fatalf("search after cancelled predecessor failed: %v", err)
+	}
+	if lr.BestOoO == nil {
+		t.Fatal("missing result after recompute")
+	}
+	if n := opts.Cache.Len(); n != 1 {
+		t.Fatalf("cache has %d entries, want 1 (cancelled entry dropped)", n)
+	}
+}
+
+// TestSearchNetworkCtxCancelled checks that a network search honours a
+// dead context promptly instead of scheduling every layer.
+func TestSearchNetworkCtxCancelled(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	n, err := nets.ByName("vgg16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchNetworkCtx(ctx, n.Scale(4), opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -146,13 +147,21 @@ func (lr *LayerResult) TrafficReduction() float64 {
 // SearchLayer runs the full per-layer search of Algorithm 1 (lines
 // 2-11) for both the OoO scheduler and the static baseline.
 func SearchLayer(l layer.Conv, opts Options) (*LayerResult, error) {
-	if opts.Cache != nil {
-		return opts.Cache.layer(l, opts)
-	}
-	return searchLayerUncached(l, opts)
+	return SearchLayerCtx(context.Background(), l, opts)
 }
 
-func searchLayerUncached(l layer.Conv, opts Options) (*LayerResult, error) {
+// SearchLayerCtx is SearchLayer with cancellation: the search aborts
+// between tilings and between dataflow evaluations once ctx is done and
+// returns ctx.Err(). Long-running callers (servers, interactive tools)
+// use it to bound search time per request.
+func SearchLayerCtx(ctx context.Context, l layer.Conv, opts Options) (*LayerResult, error) {
+	if opts.Cache != nil {
+		return opts.Cache.layer(ctx, l, opts)
+	}
+	return searchLayerUncached(ctx, l, opts)
+}
+
+func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*LayerResult, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -181,12 +190,24 @@ func searchLayerUncached(l layer.Conv, opts Options) (*LayerResult, error) {
 		wg.Add(1)
 		go func(i int, f tile.Factors) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
-			results[i], errs[i] = scheduleTiling(l, f, m, dataflows, opts)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = scheduleTiling(ctx, l, f, m, dataflows, opts)
 		}(i, f)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	lr := &LayerResult{Layer: l}
 	metric := opts.Metric
@@ -244,8 +265,9 @@ func enumerateWithEscalation(l layer.Conv, cfg arch.Config, b Budget) []tile.Fac
 const maxOoOHints = 3
 
 // scheduleTiling produces the OoO schedule and the best static schedule
-// for one tiling.
-func scheduleTiling(l layer.Conv, f tile.Factors, m model.Model, dataflows []loop.Dataflow, opts Options) (Candidate, error) {
+// for one tiling. It aborts between dataflow evaluations when ctx is
+// cancelled.
+func scheduleTiling(ctx context.Context, l layer.Conv, f tile.Factors, m model.Model, dataflows []loop.Dataflow, opts Options) (Candidate, error) {
 	grid, err := tile.NewGrid(l, f)
 	if err != nil {
 		return Candidate{}, err
@@ -269,6 +291,9 @@ func scheduleTiling(l layer.Conv, f tile.Factors, m model.Model, dataflows []loo
 	c.OoO = ooo
 	metric := opts.Metric
 	for i, df := range dataflows {
+		if err := ctx.Err(); err != nil {
+			return Candidate{}, err
+		}
 		order := loop.Order(graph, df)
 		cfg := base
 		cfg.Order = order
@@ -330,6 +355,13 @@ func (nr *NetworkResult) TrafficReduction() float64 {
 // SearchNetwork searches every layer of the network. Layers run
 // concurrently; repeated layer shapes are served from the cache.
 func SearchNetwork(n nets.Network, opts Options) (*NetworkResult, error) {
+	return SearchNetworkCtx(context.Background(), n, opts)
+}
+
+// SearchNetworkCtx is SearchNetwork with cancellation: once ctx is done
+// the per-layer searches abort at their next tiling or dataflow
+// boundary and the call returns ctx.Err().
+func SearchNetworkCtx(ctx context.Context, n nets.Network, opts Options) (*NetworkResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -348,10 +380,13 @@ func SearchNetwork(n nets.Network, opts Options) (*NetworkResult, error) {
 		wg.Add(1)
 		go func(i int, l layer.Conv) {
 			defer wg.Done()
-			nr.Layers[i], errs[i] = SearchLayer(l, opts)
+			nr.Layers[i], errs[i] = SearchLayerCtx(ctx, l, opts)
 		}(i, l)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("search: layer %s: %w", n.Layers[i].Name, err)

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed Go client for a flexerd server. The zero value is
+// not usable; construct one with NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient issues the requests (nil = http.DefaultClient). Give
+	// it a Timeout slightly above the request timeout_ms you use.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// ScheduleLayer schedules one layer via POST /v1/schedule/layer.
+func (c *Client) ScheduleLayer(ctx context.Context, req LayerRequest) (*LayerResponse, error) {
+	var resp LayerResponse
+	if err := c.post(ctx, "/v1/schedule/layer", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ScheduleNetwork schedules a whole network via POST
+// /v1/schedule/network.
+func (c *Client) ScheduleNetwork(ctx context.Context, req NetworkRequest) (*NetworkResponse, error) {
+	var resp NetworkResponse
+	if err := c.post(ctx, "/v1/schedule/network", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Presets fetches the server inventory via GET /v1/presets.
+func (c *Client) Presets(ctx context.Context) (*PresetsResponse, error) {
+	var resp PresetsResponse
+	if err := c.get(ctx, "/v1/presets", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Healthz probes GET /healthz, returning nil when the server is up.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+// httpClient returns the configured or default HTTP client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends one JSON request and decodes the JSON response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("serve client: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("serve client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get issues one GET and decodes the JSON response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("serve client: %w", err)
+	}
+	return c.do(req, out)
+}
+
+// do runs the request, turning non-2xx responses into *APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve client: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// StatusCode is the HTTP status (400, 404, 422, 504, ...).
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+}
+
+// Error formats the status and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("flexerd: %d: %s", e.StatusCode, e.Message)
+}

@@ -1,0 +1,47 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+
+	"github.com/flexer-sched/flexer/internal/serve"
+)
+
+// ExampleClient shows the whole serve round trip: stand up a server,
+// schedule the same layer twice through the typed client, and observe
+// the second request being served from the result cache. Against a
+// real daemon, replace the httptest URL with e.g.
+// "http://localhost:8080".
+func ExampleClient() {
+	srv := serve.New(serve.Config{Log: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := serve.NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := serve.LayerRequest{
+		Arch:  "arch1",
+		Shape: &serve.ConvJSON{Name: "demo", InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3},
+	}
+	first, err := client.ScheduleLayer(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := client.ScheduleLayer(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := srv.Cache().Stats()
+	fmt.Printf("layer %s on %s\n", first.Layer, first.Arch)
+	fmt.Printf("identical schedules: %v\n", first.OoO.LatencyCycles == second.OoO.LatencyCycles)
+	fmt.Printf("misses: %d, hits: %d\n", stats.Misses, stats.Hits)
+	// Output:
+	// layer demo on arch1
+	// identical schedules: true
+	// misses: 1, hits: 1
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is the observability surface of one Server: request and
+// error counters, cache hit/miss ratios, search-latency histograms and
+// in-flight gauges, all published in expvar's JSON format on GET
+// /debug/vars.
+//
+// Vars are held per-Server instead of in expvar's process-global
+// registry so that multiple servers (tests, embedding) never collide;
+// the /debug/vars handler renders this registry in the exact wire
+// format of expvar.Handler.
+type metrics struct {
+	mu   sync.Mutex
+	vars []namedVar
+
+	requests  *expvar.Map // requests_total by endpoint
+	errors    *expvar.Map // request_errors_total by HTTP status code
+	inflight  *expvar.Int // requests currently being handled
+	searching *expvar.Int // searches currently holding a worker slot
+	queued    *expvar.Int // requests waiting for a worker slot
+	latency   *latencyHist
+	netLat    *latencyHist
+}
+
+// namedVar pairs an expvar.Var with its published name.
+type namedVar struct {
+	name string
+	v    expvar.Var
+}
+
+// newMetrics builds the registry for one server.
+func newMetrics() *metrics {
+	m := &metrics{
+		requests:  new(expvar.Map).Init(),
+		errors:    new(expvar.Map).Init(),
+		inflight:  new(expvar.Int),
+		searching: new(expvar.Int),
+		queued:    new(expvar.Int),
+		latency:   newLatencyHist(),
+		netLat:    newLatencyHist(),
+	}
+	m.publish("requests_total", m.requests)
+	m.publish("request_errors_total", m.errors)
+	m.publish("requests_inflight", m.inflight)
+	m.publish("searches_inflight", m.searching)
+	m.publish("requests_queued", m.queued)
+	m.publish("search_latency_ms", m.latency)
+	m.publish("network_search_latency_ms", m.netLat)
+	return m
+}
+
+// publish registers v under name; names are rendered in sorted order.
+func (m *metrics) publish(name string, v expvar.Var) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vars = append(m.vars, namedVar{name, v})
+	sort.Slice(m.vars, func(i, j int) bool { return m.vars[i].name < m.vars[j].name })
+}
+
+// ServeHTTP renders every published var as one JSON object, matching
+// expvar.Handler's format.
+func (m *metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	m.mu.Lock()
+	vars := make([]namedVar, len(m.vars))
+	copy(vars, m.vars)
+	m.mu.Unlock()
+	fmt.Fprintf(w, "{\n")
+	for i, nv := range vars {
+		if i > 0 {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", nv.name, nv.v.String())
+	}
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// latencyBoundsMS are the upper bounds (milliseconds, inclusive) of the
+// histogram buckets; the last bucket is unbounded. Spanning 1 ms to
+// 60 s covers everything from a cache hit to a default-budget layer
+// search.
+var latencyBoundsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// latencyHist is a fixed-bucket latency histogram implementing
+// expvar.Var.
+type latencyHist struct {
+	mu      sync.Mutex
+	count   int64
+	sumMS   float64
+	maxMS   float64
+	buckets []int64 // len(latencyBoundsMS)+1, last = overflow
+}
+
+// newLatencyHist returns an empty histogram.
+func newLatencyHist() *latencyHist {
+	return &latencyHist{buckets: make([]int64, len(latencyBoundsMS)+1)}
+}
+
+// Observe records one duration.
+func (h *latencyHist) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sumMS += ms
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+	for i, b := range latencyBoundsMS {
+		if ms <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.buckets)-1]++
+}
+
+// String renders the histogram as JSON: count, sum, mean, max and the
+// per-bucket counts keyed by upper bound ("le_<ms>", "le_inf").
+func (h *latencyHist) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mean := 0.0
+	if h.count > 0 {
+		mean = h.sumMS / float64(h.count)
+	}
+	s := fmt.Sprintf(`{"count": %d, "sum_ms": %.3f, "mean_ms": %.3f, "max_ms": %.3f, "buckets": {`,
+		h.count, h.sumMS, mean, h.maxMS)
+	for i, b := range latencyBoundsMS {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf(`"le_%g": %d`, b, h.buckets[i])
+	}
+	s += fmt.Sprintf(`, "le_inf": %d}}`, h.buckets[len(h.buckets)-1])
+	return s
+}

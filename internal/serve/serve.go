@@ -1,0 +1,379 @@
+// Package serve turns the Flexer layer/network search into a
+// long-running service: it wraps search.SearchLayerCtx and
+// search.SearchNetworkCtx with a shared result cache, a bounded worker
+// pool with per-request timeouts, and an expvar-style observability
+// surface, and exposes the whole thing as an http.Handler.
+//
+// The daemon binary cmd/flexerd is a thin wrapper around this package;
+// Client is the matching Go client. The HTTP surface:
+//
+//	POST /v1/schedule/layer    schedule one layer (cached, bounded)
+//	POST /v1/schedule/network  schedule a whole network
+//	GET  /v1/presets           hardware presets, networks, option enums
+//	GET  /healthz              liveness probe
+//	GET  /debug/vars           metrics (expvar JSON)
+//	GET  /debug/pprof/...      profiling, when Config.EnablePprof is set
+//
+// Request and response bodies are documented in docs/API.md; schedule
+// payloads reuse the trace package's JSON schema, so a daemon response
+// is interchangeable with the flexer CLI's -json export.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// Config tunes a Server. The zero value is a working quick-budget
+// configuration.
+type Config struct {
+	// CacheSize bounds the shared result cache in entries
+	// (0 = search.DefaultCacheCapacity; negative = unbounded).
+	CacheSize int
+	// Workers is the maximum number of concurrently running searches;
+	// further requests queue until a slot frees (0 = GOMAXPROCS).
+	Workers int
+	// SearchParallelism is the per-search worker count handed to
+	// search.Options.Workers (0 = GOMAXPROCS). Lower it when Workers
+	// is high to avoid oversubscription.
+	SearchParallelism int
+	// DefaultTimeout bounds a search when the request does not name a
+	// timeout_ms (0 = 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (0 = 10min).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = 1 MiB).
+	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Log receives one line per request (nil = log.Default()).
+	Log *log.Logger
+}
+
+// Server serves schedule requests over HTTP, memoizing results in a
+// shared cache and bounding concurrent search work. Create one with
+// New and mount Handler on an http.Server.
+type Server struct {
+	cfg     Config
+	cache   *search.Cache
+	sem     chan struct{} // worker-pool slots
+	metrics *metrics
+	start   time.Time
+	log     *log.Logger
+}
+
+// New returns a Server ready to serve requests.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	cacheSize := search.DefaultCacheCapacity
+	if cfg.CacheSize > 0 {
+		cacheSize = cfg.CacheSize
+	} else if cfg.CacheSize < 0 {
+		cacheSize = 0 // unbounded
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   search.NewCacheSized(cacheSize),
+		sem:     make(chan struct{}, cfg.Workers),
+		metrics: newMetrics(),
+		start:   time.Now(),
+		log:     logger,
+	}
+	s.metrics.publish("cache", expvar.Func(func() any { return s.cache.Stats() }))
+	s.metrics.publish("cache_hit_ratio", expvar.Func(func() any { return s.cache.Stats().HitRatio() }))
+	s.metrics.publish("worker_pool_size", expvar.Func(func() any { return cfg.Workers }))
+	s.metrics.publish("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	return s
+}
+
+// Cache exposes the server's shared result cache (e.g. for pre-warming
+// or inspection in tests).
+func (s *Server) Cache() *search.Cache { return s.cache }
+
+// Handler returns the routing table of the HTTP surface. Every route
+// here is documented in docs/API.md.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule/layer", s.instrument("/v1/schedule/layer", s.handleLayer))
+	mux.HandleFunc("/v1/schedule/network", s.instrument("/v1/schedule/network", s.handleNetwork))
+	mux.HandleFunc("/v1/presets", s.instrument("/v1/presets", s.handlePresets))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/debug/vars", s.metrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// instrument wraps a handler with the request counters, the in-flight
+// gauge and one log line per request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(endpoint, 1)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		if sw.code >= 400 {
+			s.metrics.errors.Add(fmt.Sprint(sw.code), 1)
+		}
+		s.log.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the code and forwards it.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleLayer serves POST /v1/schedule/layer.
+func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
+	var req LayerRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := resolveArch(req.Arch, req.CustomArch)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	l, err := resolveLayer(req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts, err := resolveOptions(req.Options, cfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts.Cache = s.cache
+	opts.Workers = s.cfg.SearchParallelism
+
+	start := time.Now()
+	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		lr, err := search.SearchLayerCtx(ctx, l, opts)
+		if err != nil {
+			return nil, err
+		}
+		return buildLayerResponse(lr, cfg.Name, req.Full, msSince(start)), nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.latency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleNetwork serves POST /v1/schedule/network.
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	var req NetworkRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := resolveArch(req.Arch, req.CustomArch)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Network == "" {
+		s.fail(w, badf("request needs a network name"))
+		return
+	}
+	n, err := resolveNetwork(req.Network, req.Scale)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts, err := resolveOptions(req.Options, cfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts.Cache = s.cache
+	opts.Workers = s.cfg.SearchParallelism
+
+	start := time.Now()
+	before := s.cache.Stats()
+	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		nr, err := search.SearchNetworkCtx(ctx, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		distinct := int(s.cache.Stats().Misses - before.Misses)
+		return buildNetworkResponse(nr, distinct, msSince(start)), nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.metrics.netLat.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handlePresets serves GET /v1/presets.
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildPresets())
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// search runs f on the worker pool under the request's effective
+// deadline. It returns promptly when the context ends — even while f
+// is still winding down in the background, where it aborts at its next
+// cancellation check and frees the pool slot.
+func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Context) (any, error)) (any, error) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+
+	s.metrics.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.queued.Add(-1)
+	case <-ctx.Done():
+		s.metrics.queued.Add(-1)
+		cancel()
+		return nil, ctx.Err()
+	}
+	s.metrics.searching.Add(1)
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			s.metrics.searching.Add(-1)
+			<-s.sem
+			cancel()
+		}()
+		v, err := f(ctx)
+		ch <- outcome{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// decode reads a JSON request body, rejecting non-POST methods,
+// oversized bodies and unknown fields.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid request body: " + err.Error()})
+		return false
+	}
+	if err := dec.Decode(new(struct{})); !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid request body: trailing data"})
+		return false
+	}
+	return true
+}
+
+// fail maps an error to its HTTP status: 400 for malformed requests,
+// 504 for deadlines, 499-style client-closed for cancellations, and
+// 422 for well-formed requests the search cannot satisfy.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	var bad badRequestError
+	switch {
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: bad.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "search timed out; retry with a larger timeout_ms or budget=quick"})
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is nginx's convention for it.
+		writeJSON(w, 499, ErrorResponse{Error: "request cancelled"})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// methodNotAllowed writes a 405 with the allowed method advertised.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed; use " + allow})
+}
+
+// writeJSON writes one JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding errors past the header are unrecoverable mid-stream;
+	// the client sees a truncated body and fails its own decode.
+	_ = enc.Encode(v)
+}
+
+// msSince returns the elapsed wall-clock since start in milliseconds.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer returns a quiet server with a small worker pool and
+// its httptest front-end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON posts raw JSON and returns the response.
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// decodeBody decodes a JSON response body into dst.
+func decodeBody(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}
+
+// smallShape is a layer that schedules in well under a second with the
+// quick budget.
+const smallShape = `{"in_h": 14, "in_w": 14, "in_c": 64, "out_c": 64, "ker_h": 3}`
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	decodeBody(t, resp, &body)
+	if body.Status != "ok" {
+		t.Fatalf("status = %q, want ok", body.Status)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/presets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/presets = %d, want 200", resp.StatusCode)
+	}
+	var body PresetsResponse
+	decodeBody(t, resp, &body)
+	if len(body.Archs) != 8 {
+		t.Errorf("archs = %d, want 8 (Table 1)", len(body.Archs))
+	}
+	if len(body.Networks) != 4 {
+		t.Errorf("networks = %d, want 4", len(body.Networks))
+	}
+	if len(body.Budgets) == 0 || len(body.Priorities) == 0 || len(body.MemPolicies) == 0 {
+		t.Error("missing option enums")
+	}
+}
+
+// TestMalformedBody covers the 400 paths: syntactically broken JSON,
+// unknown fields, trailing garbage, wrong content, and empty body.
+func TestMalformedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"syntax error":   `{"arch": `,
+		"unknown field":  `{"arch": "arch1", "bogus": 1}`,
+		"trailing data":  `{"arch": "arch1", "shape": ` + smallShape + `} trailing`,
+		"wrong type":     `{"arch": 42}`,
+		"empty body":     ``,
+		"missing layer":  `{"arch": "arch1"}`,
+		"shape and name": `{"arch": "arch1", "network": "vgg16", "layer": "conv1_1", "shape": ` + smallShape + `}`,
+		"unknown arch":   `{"arch": "arch99", "shape": ` + smallShape + `}`,
+		"unknown budget": `{"arch": "arch1", "shape": ` + smallShape + `, "options": {"budget": "lavish"}}`,
+		"bad shape":      `{"arch": "arch1", "shape": {"in_h": -3, "in_w": 14, "in_c": 4, "out_c": 4, "ker_h": 3}}`,
+	} {
+		resp := postJSON(t, ts.URL+"/v1/schedule/layer", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		var e ErrorResponse
+		decodeBody(t, resp, &e)
+		if e.Error == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/schedule/layer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on schedule endpoint = %d, want 405", resp.StatusCode)
+	}
+	resp2 := postJSON(t, ts.URL+"/v1/presets", "{}")
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/presets = %d, want 405", resp2.StatusCode)
+	}
+}
+
+// debugVars decodes the /debug/vars JSON.
+func debugVars(t *testing.T, baseURL string) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars = %d, want 200", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	decodeBody(t, resp, &vars)
+	return vars
+}
+
+// TestLayerCacheMissThenHit is the acceptance path: POSTing the same
+// VGG16 layer twice returns identical schedules, and /debug/vars shows
+// 1 cache miss then 1 cache hit.
+func TestLayerCacheMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// conv4_3 at scale... use an inline small shape named like the
+	// acceptance layer to keep the quick budget fast under -race; the
+	// cache path is identical for table layers.
+	body := `{"arch": "arch1", "network": "vgg16", "layer": "conv5_1", "options": {"budget": "quick"}}`
+
+	var first, second LayerResponse
+	resp := postJSON(t, ts.URL+"/v1/schedule/layer", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("first POST = %d: %s", resp.StatusCode, b)
+	}
+	decodeBody(t, resp, &first)
+
+	resp = postJSON(t, ts.URL+"/v1/schedule/layer", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second POST = %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &second)
+
+	if first.OoO.LatencyCycles != second.OoO.LatencyCycles ||
+		first.OoO.Factors != second.OoO.Factors ||
+		first.Static.LatencyCycles != second.Static.LatencyCycles {
+		t.Errorf("repeated request returned different schedules:\n%+v\n%+v", first.OoO, second.OoO)
+	}
+	if first.Layer != "conv5_1" || first.Arch != "arch1" {
+		t.Errorf("echoed layer/arch = %q/%q", first.Layer, first.Arch)
+	}
+
+	vars := debugVars(t, ts.URL)
+	var cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	}
+	if err := json.Unmarshal(vars["cache"], &cache); err != nil {
+		t.Fatalf("decode cache var %s: %v", vars["cache"], err)
+	}
+	if cache.Misses != 1 || cache.Hits != 1 {
+		t.Errorf("cache = %+v, want 1 miss 1 hit", cache)
+	}
+	var reqs map[string]int64
+	if err := json.Unmarshal(vars["requests_total"], &reqs); err != nil {
+		t.Fatal(err)
+	}
+	if reqs["/v1/schedule/layer"] != 2 {
+		t.Errorf("requests_total = %v, want 2 layer requests", reqs)
+	}
+	var hist struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(vars["search_latency_ms"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count != 2 {
+		t.Errorf("search_latency_ms.count = %d, want 2", hist.Count)
+	}
+}
+
+// TestTimeoutReturnsPromptly checks the 504 path: a slow
+// default-budget search with a tiny timeout must answer quickly with
+// an error, and the worker pool must not stay wedged — a follow-up
+// quick request succeeds.
+func TestTimeoutReturnsPromptly(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	slow := `{"arch": "arch1", "network": "vgg16", "layer": "conv3_1",
+	          "options": {"budget": "default"}, "timeout_ms": 50}`
+
+	start := time.Now()
+	resp := postJSON(t, ts.URL+"/v1/schedule/layer", slow)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("slow request = %d, want 504", resp.StatusCode)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout response took %v, want prompt return", elapsed)
+	}
+	var e ErrorResponse
+	decodeBody(t, resp, &e)
+	if e.Error == "" {
+		t.Error("504 with empty error message")
+	}
+
+	// The single worker slot must free up for the next request.
+	quick := `{"arch": "arch1", "shape": ` + smallShape + `, "timeout_ms": 60000}`
+	resp2 := postJSON(t, ts.URL+"/v1/schedule/layer", quick)
+	if resp2.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("follow-up request = %d: %s (pool wedged?)", resp2.StatusCode, b)
+	}
+}
+
+// TestNetworkEndpoint schedules a scaled VGG16 end to end and checks
+// the aggregate response.
+func TestNetworkEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network search is seconds of work")
+	}
+	_, ts := newTestServer(t, Config{})
+	body := `{"arch": "arch1", "network": "vgg16", "scale": 8, "options": {"budget": "quick"}}`
+	resp := postJSON(t, ts.URL+"/v1/schedule/network", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/schedule/network = %d: %s", resp.StatusCode, b)
+	}
+	var nr NetworkResponse
+	decodeBody(t, resp, &nr)
+	if !strings.HasPrefix(nr.Network, "vgg16") || len(nr.Layers) != 13 {
+		t.Fatalf("network response %s with %d layers, want vgg16 with 13", nr.Network, len(nr.Layers))
+	}
+	if nr.OoOCycles <= 0 || nr.StaticCycles <= 0 {
+		t.Errorf("non-positive totals: %+v", nr)
+	}
+	if nr.DistinctLayerShapes <= 0 || nr.DistinctLayerShapes > 13 {
+		t.Errorf("distinct_layer_shapes = %d, want 1..13", nr.DistinctLayerShapes)
+	}
+}
+
+// TestClientRoundTrip drives the typed client against a live handler,
+// including the error path.
+func TestClientRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	pr, err := c.Presets(ctx)
+	if err != nil {
+		t.Fatalf("Presets: %v", err)
+	}
+	if len(pr.Archs) != 8 {
+		t.Errorf("client presets: %d archs", len(pr.Archs))
+	}
+
+	req := LayerRequest{
+		Arch:  "arch2",
+		Shape: &ConvJSON{Name: "tiny", InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3},
+	}
+	lresp, err := c.ScheduleLayer(ctx, req)
+	if err != nil {
+		t.Fatalf("ScheduleLayer: %v", err)
+	}
+	if lresp.Layer != "tiny" || lresp.OoO.LatencyCycles <= 0 {
+		t.Errorf("bad layer response: %+v", lresp)
+	}
+	if got := srv.Cache().Stats().Misses; got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+
+	_, err = c.ScheduleLayer(ctx, LayerRequest{Arch: "arch99", Shape: req.Shape})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown arch error = %v, want *APIError with 400", err)
+	}
+}
+
+// TestCustomArchAndFullTimeline checks the custom_arch path and that
+// full=true includes per-op records.
+func TestCustomArchAndFullTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"custom_arch": {"name": "lab", "cores": 2, "spm_kib": 256, "bandwidth_bytes_per_cycle": 32},
+	          "shape": ` + smallShape + `, "full": true}`
+	resp := postJSON(t, ts.URL+"/v1/schedule/layer", body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("custom arch request = %d: %s", resp.StatusCode, b)
+	}
+	var lr LayerResponse
+	decodeBody(t, resp, &lr)
+	if lr.Arch != "lab" {
+		t.Errorf("arch = %q, want lab", lr.Arch)
+	}
+	if len(lr.OoO.Ops) == 0 || len(lr.OoO.Mems) == 0 {
+		t.Error("full=true response missing timelines")
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(lr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/nets"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/trace"
+)
+
+// ConvJSON is the wire form of a convolution layer shape. Dimensions
+// are in elements. Only InH, InW, InC, OutC and KerH are required;
+// KerW defaults to KerH, strides to 1, paddings to ker/2 ("same"), and
+// ElemBytes to 2 (fp16), matching layer.NewConv.
+type ConvJSON struct {
+	Name      string `json:"name,omitempty"`
+	InH       int    `json:"in_h"`
+	InW       int    `json:"in_w"`
+	InC       int    `json:"in_c"`
+	OutC      int    `json:"out_c"`
+	KerH      int    `json:"ker_h"`
+	KerW      int    `json:"ker_w,omitempty"`
+	StrideH   int    `json:"stride_h,omitempty"`
+	StrideW   int    `json:"stride_w,omitempty"`
+	PadH      int    `json:"pad_h,omitempty"`
+	PadW      int    `json:"pad_w,omitempty"`
+	ElemBytes int    `json:"elem_bytes,omitempty"`
+}
+
+// Conv converts the wire shape into a layer.Conv, applying defaults
+// for omitted fields.
+func (c ConvJSON) Conv() layer.Conv {
+	l := layer.Conv{
+		Name: c.Name,
+		InH:  c.InH, InW: c.InW, InC: c.InC,
+		OutC: c.OutC,
+		KerH: c.KerH, KerW: c.KerW,
+		StrideH: c.StrideH, StrideW: c.StrideW,
+		PadH: c.PadH, PadW: c.PadW,
+		ElemBytes: c.ElemBytes,
+	}
+	if l.Name == "" {
+		l.Name = "adhoc"
+	}
+	if l.KerW == 0 {
+		l.KerW = l.KerH
+	}
+	if l.StrideH == 0 {
+		l.StrideH = 1
+	}
+	if l.StrideW == 0 {
+		l.StrideW = 1
+	}
+	if l.PadH == 0 {
+		l.PadH = l.KerH / 2
+	}
+	if l.PadW == 0 {
+		l.PadW = l.KerW / 2
+	}
+	if l.ElemBytes == 0 {
+		l.ElemBytes = 2
+	}
+	return l
+}
+
+// ArchJSON is the wire form of a custom hardware configuration (the
+// alternative to naming a Table 1 preset). The PE geometry and clock
+// are fixed to the paper's 32x32 @ 1 GHz.
+type ArchJSON struct {
+	Name                   string `json:"name"`
+	Cores                  int    `json:"cores"`
+	SPMKiB                 int64  `json:"spm_kib"`
+	BandwidthBytesPerCycle int    `json:"bandwidth_bytes_per_cycle"`
+}
+
+// Config converts the wire form into an arch.Config.
+func (a ArchJSON) Config() arch.Config {
+	name := a.Name
+	if name == "" {
+		name = "custom"
+	}
+	return arch.New(name, a.Cores, arch.KiB(a.SPMKiB), a.BandwidthBytesPerCycle)
+}
+
+// SearchOptionsJSON is the option block shared by layer and network
+// requests. Every field is optional; the zero value means the paper's
+// defaults with the server's QuickBudget-vs-DefaultBudget choice left
+// to "budget".
+type SearchOptionsJSON struct {
+	// Budget selects the search effort: "quick" or "default"
+	// (empty = "quick"; "default" is minutes of work on large layers).
+	Budget string `json:"budget,omitempty"`
+	// Priority selects the set priority function: "default",
+	// "min-transfer", "min-spill" or "chain-depth".
+	Priority string `json:"priority,omitempty"`
+	// MemPolicy selects the spill policy: "flexer", "first-fit" or
+	// "small-spill".
+	MemPolicy string `json:"mem_policy,omitempty"`
+	// Metric selects the ranking metric: "default" (latency x traffic)
+	// or "min-transfer".
+	Metric string `json:"metric,omitempty"`
+}
+
+// LayerRequest is the body of POST /v1/schedule/layer. The layer comes
+// either from a built-in network table (Network + Layer) or inline
+// (Shape); the hardware either from a preset name (Arch) or inline
+// (CustomArch).
+type LayerRequest struct {
+	// Arch names a Table 1 preset ("arch1".."arch8").
+	Arch string `json:"arch,omitempty"`
+	// CustomArch describes ad-hoc hardware instead of a preset.
+	CustomArch *ArchJSON `json:"custom_arch,omitempty"`
+	// Network and Layer select a layer from a built-in network table
+	// (e.g. "vgg16" / "conv3_1").
+	Network string `json:"network,omitempty"`
+	Layer   string `json:"layer,omitempty"`
+	// Shape is an inline layer shape, the alternative to Network/Layer.
+	Shape *ConvJSON `json:"shape,omitempty"`
+	// Options tune the search; the zero value is a quick default run.
+	Options SearchOptionsJSON `json:"options,omitempty"`
+	// TimeoutMS bounds the search wall-clock for this request in
+	// milliseconds (0 = server default; capped at the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Full includes the per-op and per-DMA timelines in the response
+	// schedules (can be large: one record per tile operation).
+	Full bool `json:"full,omitempty"`
+}
+
+// NetworkRequest is the body of POST /v1/schedule/network.
+type NetworkRequest struct {
+	// Arch names a Table 1 preset; CustomArch is the inline alternative.
+	Arch       string    `json:"arch,omitempty"`
+	CustomArch *ArchJSON `json:"custom_arch,omitempty"`
+	// Network names a built-in table: "vgg16", "resnet50",
+	// "squeezenet" or "yolov2".
+	Network string `json:"network"`
+	// Scale divides the spatial dimensions by this factor (0 or 1 =
+	// full size); scaled runs finish much faster.
+	Scale int `json:"scale,omitempty"`
+	// Options tune the search; the zero value is a quick default run.
+	Options SearchOptionsJSON `json:"options,omitempty"`
+	// TimeoutMS bounds the search wall-clock for this request in
+	// milliseconds (0 = server default; capped at the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// LayerResponse is the body returned by POST /v1/schedule/layer.
+type LayerResponse struct {
+	// Layer and Arch echo what was scheduled.
+	Layer string `json:"layer"`
+	Arch  string `json:"arch"`
+	// Candidates is the number of tilings the search evaluated.
+	Candidates int `json:"candidates"`
+	// OoO and Static are the best out-of-order and static loop-order
+	// schedules, in the same JSON shape as the flexer CLI's -json
+	// export.
+	OoO    trace.Summary `json:"ooo"`
+	Static trace.Summary `json:"static"`
+	// StaticOrder names the winning baseline dataflow.
+	StaticOrder string `json:"static_order"`
+	// Speedup is static latency / OoO latency (>1 means OoO wins);
+	// TrafficReduction is the same ratio for transferred bytes.
+	Speedup          float64 `json:"speedup"`
+	TrafficReduction float64 `json:"traffic_reduction"`
+	// ElapsedMS is the server-side search time for this request; a
+	// cache hit reports sub-millisecond values.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// NetworkLayerJSON is one per-layer row of a network response.
+type NetworkLayerJSON struct {
+	Layer            string  `json:"layer"`
+	Tiling           string  `json:"tiling"`
+	OoOCycles        int64   `json:"ooo_cycles"`
+	StaticCycles     int64   `json:"static_cycles"`
+	OoOTrafficBytes  int64   `json:"ooo_traffic_bytes"`
+	StaticTraffic    int64   `json:"static_traffic_bytes"`
+	StaticOrder      string  `json:"static_order"`
+	Speedup          float64 `json:"speedup"`
+	TrafficReduction float64 `json:"traffic_reduction"`
+}
+
+// NetworkResponse is the body returned by POST /v1/schedule/network.
+type NetworkResponse struct {
+	Network string             `json:"network"`
+	Arch    string             `json:"arch"`
+	Layers  []NetworkLayerJSON `json:"layers"`
+	// End-to-end totals across all layers.
+	OoOCycles           int64   `json:"ooo_cycles"`
+	StaticCycles        int64   `json:"static_cycles"`
+	OoOTrafficBytes     int64   `json:"ooo_traffic_bytes"`
+	StaticTrafficBytes  int64   `json:"static_traffic_bytes"`
+	Speedup             float64 `json:"speedup"`
+	TrafficReduction    float64 `json:"traffic_reduction"`
+	ElapsedMS           float64 `json:"elapsed_ms"`
+	DistinctLayerShapes int     `json:"distinct_layer_shapes"`
+}
+
+// PresetArchJSON is one hardware preset row of GET /v1/presets.
+type PresetArchJSON struct {
+	Name                   string `json:"name"`
+	Cores                  int    `json:"cores"`
+	SPMKiB                 int64  `json:"spm_kib"`
+	BandwidthBytesPerCycle int    `json:"bandwidth_bytes_per_cycle"`
+}
+
+// PresetNetworkJSON is one network row of GET /v1/presets.
+type PresetNetworkJSON struct {
+	Name   string   `json:"name"`
+	Layers []string `json:"layers"`
+}
+
+// PresetsResponse is the body of GET /v1/presets: everything a client
+// can name in a schedule request.
+type PresetsResponse struct {
+	Archs       []PresetArchJSON    `json:"archs"`
+	Networks    []PresetNetworkJSON `json:"networks"`
+	Budgets     []string            `json:"budgets"`
+	Priorities  []string            `json:"priorities"`
+	MemPolicies []string            `json:"mem_policies"`
+	Metrics     []string            `json:"metrics"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// badRequestError marks client mistakes (unknown names, invalid
+// shapes) so the handler maps them to a 4xx instead of a 5xx.
+type badRequestError struct{ msg string }
+
+// Error returns the client-facing message.
+func (e badRequestError) Error() string { return e.msg }
+
+func badf(format string, args ...any) error {
+	return badRequestError{fmt.Sprintf(format, args...)}
+}
+
+// resolveArch picks the hardware configuration named or embedded in a
+// request; empty means arch1.
+func resolveArch(preset string, custom *ArchJSON) (arch.Config, error) {
+	if custom != nil {
+		cfg := custom.Config()
+		if err := cfg.Validate(); err != nil {
+			return arch.Config{}, badf("custom_arch: %v", err)
+		}
+		return cfg, nil
+	}
+	if preset == "" {
+		preset = "arch1"
+	}
+	cfg, err := arch.Preset(preset)
+	if err != nil {
+		return arch.Config{}, badf("%v", err)
+	}
+	return cfg, nil
+}
+
+// resolveOptions translates the wire option block into search.Options
+// (without the Cache and Workers fields, which the server owns).
+func resolveOptions(o SearchOptionsJSON, cfg arch.Config) (search.Options, error) {
+	opts := search.Options{Arch: cfg}
+	switch o.Budget {
+	case "", "quick":
+		opts.Budget = search.QuickBudget()
+	case "default":
+		opts.Budget = search.DefaultBudget()
+	default:
+		return opts, badf("unknown budget %q (want quick or default)", o.Budget)
+	}
+	switch o.Priority {
+	case "", "default":
+		opts.Priority = sched.PriorityDefault
+	case "min-transfer":
+		opts.Priority = sched.PriorityMinTransfer
+	case "min-spill":
+		opts.Priority = sched.PriorityMinSpill
+	case "chain-depth":
+		opts.Priority = sched.PriorityChainDepth
+	default:
+		return opts, badf("unknown priority %q (want default, min-transfer, min-spill or chain-depth)", o.Priority)
+	}
+	switch o.MemPolicy {
+	case "", "flexer":
+		opts.MemPolicy = spm.PolicyFlexer
+	case "first-fit":
+		opts.MemPolicy = spm.PolicyFirstFit
+	case "small-spill":
+		opts.MemPolicy = spm.PolicySmallestFirst
+	default:
+		return opts, badf("unknown mem_policy %q (want flexer, first-fit or small-spill)", o.MemPolicy)
+	}
+	switch o.Metric {
+	case "", "default":
+		opts.Metric = search.MetricDefault()
+	case "min-transfer":
+		opts.Metric = search.MetricMinTransfer()
+	default:
+		return opts, badf("unknown metric %q (want default or min-transfer)", o.Metric)
+	}
+	return opts, nil
+}
+
+// resolveLayer picks the layer named or embedded in a layer request.
+func resolveLayer(req LayerRequest) (layer.Conv, error) {
+	switch {
+	case req.Shape != nil:
+		if req.Network != "" || req.Layer != "" {
+			return layer.Conv{}, badf("give either shape or network+layer, not both")
+		}
+		l := req.Shape.Conv()
+		if err := l.Validate(); err != nil {
+			return layer.Conv{}, badf("shape: %v", err)
+		}
+		return l, nil
+	case req.Network != "" && req.Layer != "":
+		n, err := nets.ByName(req.Network)
+		if err != nil {
+			return layer.Conv{}, badf("%v", err)
+		}
+		l, err := n.Layer(req.Layer)
+		if err != nil {
+			return layer.Conv{}, badf("%v", err)
+		}
+		return l, nil
+	default:
+		return layer.Conv{}, badf("request needs either shape or network+layer")
+	}
+}
+
+// resolveNetwork picks and optionally down-scales a built-in network.
+func resolveNetwork(name string, scale int) (nets.Network, error) {
+	n, err := nets.ByName(name)
+	if err != nil {
+		return nets.Network{}, badf("%v", err)
+	}
+	if scale < 0 {
+		return nets.Network{}, badf("scale must be >= 0, got %d", scale)
+	}
+	if scale > 1 {
+		n = n.Scale(scale)
+	}
+	return n, nil
+}
+
+// buildLayerResponse converts a search result into the wire form.
+func buildLayerResponse(lr *search.LayerResult, archName string, full bool, elapsedMS float64) LayerResponse {
+	return LayerResponse{
+		Layer:            lr.Layer.Name,
+		Arch:             archName,
+		Candidates:       len(lr.Candidates),
+		OoO:              trace.Build(lr.BestOoO, full),
+		Static:           trace.Build(lr.BestStatic, full),
+		StaticOrder:      lr.BestStaticOrder.Name,
+		Speedup:          lr.Speedup(),
+		TrafficReduction: lr.TrafficReduction(),
+		ElapsedMS:        elapsedMS,
+	}
+}
+
+// buildNetworkResponse converts a network search result into the wire
+// form.
+func buildNetworkResponse(nr *search.NetworkResult, distinct int, elapsedMS float64) NetworkResponse {
+	resp := NetworkResponse{
+		Network:             nr.Network,
+		Arch:                nr.Arch,
+		Speedup:             nr.Speedup(),
+		TrafficReduction:    nr.TrafficReduction(),
+		ElapsedMS:           elapsedMS,
+		DistinctLayerShapes: distinct,
+	}
+	for _, lr := range nr.Layers {
+		resp.Layers = append(resp.Layers, NetworkLayerJSON{
+			Layer:            lr.Layer.Name,
+			Tiling:           lr.BestOoO.Factors.String(),
+			OoOCycles:        lr.BestOoO.LatencyCycles,
+			StaticCycles:     lr.BestStatic.LatencyCycles,
+			OoOTrafficBytes:  lr.BestOoO.TrafficBytes(),
+			StaticTraffic:    lr.BestStatic.TrafficBytes(),
+			StaticOrder:      lr.BestStaticOrder.Name,
+			Speedup:          lr.Speedup(),
+			TrafficReduction: lr.TrafficReduction(),
+		})
+	}
+	resp.OoOCycles, resp.StaticCycles, resp.OoOTrafficBytes, resp.StaticTrafficBytes = nr.Totals()
+	return resp
+}
+
+// buildPresets enumerates everything a request can name.
+func buildPresets() PresetsResponse {
+	resp := PresetsResponse{
+		Budgets:     []string{"quick", "default"},
+		Priorities:  []string{"default", "min-transfer", "min-spill", "chain-depth"},
+		MemPolicies: []string{"flexer", "first-fit", "small-spill"},
+		Metrics:     []string{"default", "min-transfer"},
+	}
+	for _, a := range arch.Presets() {
+		resp.Archs = append(resp.Archs, PresetArchJSON{
+			Name:                   a.Name,
+			Cores:                  a.Cores,
+			SPMKiB:                 a.SPMBytes / 1024,
+			BandwidthBytesPerCycle: a.BandwidthBytesPerCycle,
+		})
+	}
+	for _, n := range nets.All() {
+		pn := PresetNetworkJSON{Name: n.Name}
+		for _, l := range n.Layers {
+			pn.Layers = append(pn.Layers, l.Name)
+		}
+		resp.Networks = append(resp.Networks, pn)
+	}
+	return resp
+}

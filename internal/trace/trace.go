@@ -1,5 +1,8 @@
 // Package trace exports schedules in machine-readable formats (JSON and
-// CSV) for offline inspection and plotting.
+// CSV) for offline inspection and plotting. The JSON document (Summary)
+// doubles as the schedule payload of the flexerd HTTP responses, so the
+// CLI's -json export and a daemon response body are interchangeable;
+// the schema is documented in docs/API.md.
 package trace
 
 import (
