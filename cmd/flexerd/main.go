@@ -1,12 +1,13 @@
 // Command flexerd runs the Flexer scheduler as a long-running HTTP
 // daemon: schedule-as-a-service with cross-request result caching, a
-// bounded worker pool and expvar metrics.
+// bounded worker pool, admission control and expvar metrics.
 //
 // Usage:
 //
 //	flexerd                          # listen on :8080
 //	flexerd -addr :9000 -workers 4 -cache-size 8192
 //	flexerd -timeout 30s -max-timeout 5m -pprof
+//	flexerd -cache-file /var/lib/flexer/cache.gob -queue-depth 64
 //
 // Endpoints (see docs/API.md for bodies and examples):
 //
@@ -17,8 +18,17 @@
 //	GET  /debug/vars           metrics (expvar JSON)
 //	GET  /debug/pprof/         profiling (with -pprof)
 //
+// When the schedule queue exceeds -queue-depth, further schedule
+// requests are shed with 429 and a Retry-After estimate instead of
+// camping on the worker pool until their deadline.
+//
+// With -cache-file, the result cache is loaded on boot and snapshotted
+// atomically every -cache-snapshot-interval and on shutdown, so a
+// restart keeps its warm set instead of recomputing hours of search.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests for up to 10 seconds.
+// in-flight requests for up to 10 seconds; a second signal during the
+// drain forces an immediate exit.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -48,6 +59,9 @@ func run() error {
 	workers := flag.Int("workers", 0, "max concurrent searches (0 = GOMAXPROCS)")
 	searchPar := flag.Int("search-parallelism", 0, "per-search worker count (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache-size", 0, "result-cache capacity in entries (0 = default, -1 = unbounded)")
+	cacheFile := flag.String("cache-file", "", "cache snapshot path: loaded on boot, saved periodically and on shutdown (empty = no persistence)")
+	snapEvery := flag.Duration("cache-snapshot-interval", 5*time.Minute, "period between cache snapshots (0 = only on shutdown; needs -cache-file)")
+	queueDepth := flag.Int("queue-depth", 0, "max schedule requests waiting for a worker before shedding with 429 (0 = 4x workers, -1 = unlimited)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request search timeout")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested timeouts")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
@@ -58,11 +72,32 @@ func run() error {
 		CacheSize:         *cacheSize,
 		Workers:           *workers,
 		SearchParallelism: *searchPar,
+		MaxQueueDepth:     *queueDepth,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		EnablePprof:       *enablePprof,
 		Log:               logger,
 	})
+
+	if *cacheFile != "" {
+		switch n, err := srv.LoadCacheFile(*cacheFile); {
+		case err != nil:
+			logger.Printf("cache-file %s: %v (starting cold)", *cacheFile, err)
+		case n > 0:
+			logger.Printf("warmed cache with %d entries from %s", n, *cacheFile)
+		}
+	}
+	saveCache := func(reason string) {
+		if *cacheFile == "" {
+			return
+		}
+		n, err := srv.SaveCacheFile(*cacheFile)
+		if err != nil {
+			logger.Printf("cache snapshot (%s): %v", reason, err)
+			return
+		}
+		logger.Printf("cache snapshot (%s): %d entries -> %s", reason, n, *cacheFile)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -76,20 +111,66 @@ func run() error {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
-	sig := make(chan os.Signal, 1)
+	// Periodic snapshots keep the warm set durable against crashes, not
+	// just clean shutdowns.
+	stopSnap := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if *cacheFile != "" && *snapEvery > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					saveCache("periodic")
+				case <-stopSnap:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		// ErrServerClosed only ever means somebody shut the server
+		// down cleanly; anything else (bind failure, bad TLS) is fatal.
+		close(stopSnap)
+		snapWG.Wait()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
 		return err
 	case s := <-sig:
-		logger.Printf("received %v, draining", s)
+		logger.Printf("received %v, draining (send again to force exit)", s)
 	}
+	close(stopSnap)
+	snapWG.Wait()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- httpSrv.Shutdown(ctx) }()
+	select {
+	case err := <-shutdownDone:
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	case s := <-sig:
+		logger.Printf("received second %v, forcing exit", s)
+		httpSrv.Close()
+		saveCache("forced shutdown")
+		return fmt.Errorf("forced exit on second %v", s)
+	}
+	// The listener goroutine has returned by now; its ErrServerClosed
+	// is the expected outcome of Shutdown, not a failure.
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	saveCache("shutdown")
 	logger.Printf("bye")
 	return nil
 }

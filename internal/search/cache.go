@@ -3,6 +3,7 @@ package search
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -153,14 +154,19 @@ func (c *Cache) layer(ctx context.Context, l layer.Conv, opts Options) (*LayerRe
 			s.m[key] = e
 			s.mu.Unlock()
 			c.misses.Add(1)
+			if opts.CacheMisses != nil {
+				opts.CacheMisses.Add(1)
+			}
 
 			e.lr, e.err = searchLayerUncached(ctx, l, opts)
 
 			s.mu.Lock()
-			if e.err != nil && ctx.Err() != nil {
+			if isCancellation(e.err) {
 				// The search was cancelled, not infeasible: forget the
 				// entry so a later caller with a live context
-				// recomputes.
+				// recomputes. A genuine search failure that merely
+				// raced past its deadline stays cached, so waiters
+				// inherit the verdict instead of recomputing it.
 				e.cancelled = true
 				delete(s.m, key)
 			} else {
@@ -190,6 +196,13 @@ func (c *Cache) layer(ctx context.Context, l layer.Conv, opts Options) (*LayerRe
 		}
 		return finishLookup(e, l)
 	}
+}
+
+// isCancellation reports whether err is the caller's context ending,
+// as opposed to a real search failure (infeasible layer, invalid
+// shape). Only the former may forget a cache entry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // finishLookup unwraps a completed entry for one caller, shallow-copying

@@ -208,6 +208,100 @@ func TestCacheCancelledSearchNotPoisoned(t *testing.T) {
 	}
 }
 
+// TestCacheRealFailureNotClassifiedAsCancelled is the negative-cache
+// bugfix: a search that fails for a real reason (here an invalid
+// shape) while the caller's context happens to be dead must stay
+// cached, so later callers inherit the verdict instead of recomputing
+// it. Before the fix any error under ctx.Err() != nil was treated as a
+// cancellation and forgotten.
+func TestCacheRealFailureNotClassifiedAsCancelled(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	bad := layer.Conv{Name: "bad", InH: -1, InW: 8, InC: 4, OutC: 4,
+		KerH: 3, KerW: 3, StrideH: 1, StrideW: 1, ElemBytes: 2}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead context, but the failure below is not a cancellation
+	_, err := SearchLayerCtx(ctx, bad, opts)
+	if err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("invalid layer under dead context returned %v, want a validation error", err)
+	}
+	if n := opts.Cache.Len(); n != 1 {
+		t.Fatalf("cache has %d entries, want 1 (real failure cached)", n)
+	}
+
+	// A later caller with a live context gets the cached verdict
+	// without recomputing.
+	_, err2 := SearchLayerCtx(context.Background(), bad, opts)
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second lookup returned %v, want the cached %v", err2, err)
+	}
+	s := opts.Cache.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss 1 hit (no recompute)", s)
+	}
+}
+
+// TestCacheCancelledEntryRetryLoop exercises the waiter retry loop: a
+// computing caller with a dead context abandons its entry, and every
+// concurrent waiter with a live context must end up with a real
+// result — either by waiting out the cancelled entry and recomputing,
+// or by computing fresh. Run under -race this also checks the
+// entry-handoff locking.
+func TestCacheCancelledEntryRetryLoop(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("l", 28, 28, 64, 96, 3)
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	cancelledErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := SearchLayerCtx(dead, l, opts)
+		cancelledErr <- err
+	}()
+	results := make([]*LayerResult, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = SearchLayerCtx(context.Background(), l, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	if err := <-cancelledErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller returned %v, want context.Canceled", err)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d failed: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].BestOoO == nil {
+			t.Fatalf("waiter %d got no result", i)
+		}
+		if results[i].BestOoO.LatencyCycles != results[0].BestOoO.LatencyCycles {
+			t.Errorf("waiter %d latency %d != waiter 0 latency %d",
+				i, results[i].BestOoO.LatencyCycles, results[0].BestOoO.LatencyCycles)
+		}
+	}
+	if n := opts.Cache.Len(); n != 1 {
+		t.Fatalf("cache has %d entries, want exactly 1 surviving entry", n)
+	}
+	// A retrying waiter re-enters the lookup loop, so it may account
+	// more than one hit; the floor is one account per caller.
+	s := opts.Cache.Stats()
+	if s.Hits+s.Misses < waiters+1 {
+		t.Errorf("hits+misses = %d, want >= %d", s.Hits+s.Misses, waiters+1)
+	}
+}
+
 // TestSearchNetworkCtxCancelled checks that a network search honours a
 // dead context promptly instead of scheduling every layer.
 func TestSearchNetworkCtxCancelled(t *testing.T) {

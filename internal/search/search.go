@@ -18,6 +18,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
@@ -100,6 +101,12 @@ type Options struct {
 	Workers int
 	// Cache, when non-nil, memoizes layer results across calls.
 	Cache *Cache
+	// CacheMisses, when non-nil, is incremented once per layer search
+	// actually executed on behalf of this Options value (i.e. per cache
+	// miss, or per layer when Cache is nil). Serving layers install a
+	// fresh counter per request for per-request accounting; the Cache's
+	// own Stats counters are process-global and unsuitable for that.
+	CacheMisses *atomic.Int64
 
 	// sem is a shared worker-pool semaphore; SearchNetwork installs one
 	// so nested layer searches share a single parallelism budget.
@@ -157,6 +164,9 @@ func SearchLayer(l layer.Conv, opts Options) (*LayerResult, error) {
 func SearchLayerCtx(ctx context.Context, l layer.Conv, opts Options) (*LayerResult, error) {
 	if opts.Cache != nil {
 		return opts.Cache.layer(ctx, l, opts)
+	}
+	if opts.CacheMisses != nil {
+		opts.CacheMisses.Add(1)
 	}
 	return searchLayerUncached(ctx, l, opts)
 }

@@ -1,0 +1,133 @@
+package search
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Cache snapshots make the memoized search results survive a process
+// restart: SaveTo serializes every completed, successful entry and
+// LoadFrom warms a (typically fresh) cache from such a snapshot. The
+// daemon cmd/flexerd wires these to its -cache-file flag so a restart
+// keeps its warm set instead of recomputing hours of search work.
+//
+// The format is a gob stream — a versioned header, an entry count,
+// then one record per entry — because LayerResult transitively holds
+// maps keyed by struct types (sched.KindStats.MoveCounts), which
+// encoding/json cannot represent. In-flight and failed entries are
+// never persisted: the former are incomplete, and the latter may be
+// transient (a deadline hit) rather than a property of the key.
+
+// snapshotMagic guards against feeding an arbitrary gob stream (or a
+// non-snapshot file) to LoadFrom.
+const snapshotMagic = "flexer-cache-snapshot"
+
+// snapshotVersion is bumped whenever cacheKey's format or LayerResult's
+// wire shape changes incompatibly; LoadFrom rejects other versions so a
+// stale snapshot degrades to a cold start instead of corrupt hits.
+const snapshotVersion = 1
+
+// snapshotHeader opens every snapshot stream.
+type snapshotHeader struct {
+	Magic   string
+	Version int
+}
+
+// snapshotEntry is one persisted cache entry.
+type snapshotEntry struct {
+	Key    string
+	Result LayerResult
+}
+
+// SaveTo writes a snapshot of every completed, successful entry to w
+// and returns the number of entries written. Concurrent lookups may
+// proceed while saving: entry pointers are collected under the shard
+// locks, and completed results are immutable thereafter.
+func (c *Cache) SaveTo(w io.Writer) (int, error) {
+	entries := c.snapshotEntries()
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion}); err != nil {
+		return 0, fmt.Errorf("cache: write snapshot header: %w", err)
+	}
+	if err := enc.Encode(len(entries)); err != nil {
+		return 0, fmt.Errorf("cache: write snapshot count: %w", err)
+	}
+	for i, e := range entries {
+		if err := enc.Encode(snapshotEntry{Key: e.key, Result: *e.lr}); err != nil {
+			return i, fmt.Errorf("cache: write snapshot entry %d: %w", i, err)
+		}
+	}
+	return len(entries), nil
+}
+
+// snapshotEntries collects the persistable entries, least recently
+// used first, so that replaying them through LoadFrom's PushFront
+// reconstructs each shard's LRU order.
+func (c *Cache) snapshotEntries() []*cacheEntry {
+	var entries []*cacheEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if e.err == nil && e.lr != nil {
+				entries = append(entries, e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return entries
+}
+
+// LoadFrom warms the cache from a snapshot previously written by
+// SaveTo, returning how many entries were installed. Keys already
+// present (in-flight or completed) are left untouched; entries beyond
+// the cache's capacity are evicted as usual. A snapshot from a
+// different version is rejected whole so the caller can start cold.
+func (c *Cache) LoadFrom(r io.Reader) (int, error) {
+	dec := gob.NewDecoder(r)
+	var h snapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return 0, fmt.Errorf("cache: read snapshot header: %w", err)
+	}
+	if h.Magic != snapshotMagic {
+		return 0, fmt.Errorf("cache: not a cache snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != snapshotVersion {
+		return 0, fmt.Errorf("cache: snapshot version %d, want %d", h.Version, snapshotVersion)
+	}
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return 0, fmt.Errorf("cache: read snapshot count: %w", err)
+	}
+	loaded := 0
+	for i := 0; i < n; i++ {
+		var e snapshotEntry
+		if err := dec.Decode(&e); err != nil {
+			return loaded, fmt.Errorf("cache: read snapshot entry %d of %d: %w", i, n, err)
+		}
+		lr := e.Result
+		if c.insertCompleted(e.Key, &lr) {
+			loaded++
+		}
+	}
+	return loaded, nil
+}
+
+// insertCompleted installs one already-computed result under key,
+// reporting false when the key is already present.
+func (c *Cache) insertCompleted(key string, lr *LayerResult) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; ok {
+		return false
+	}
+	done := make(chan struct{})
+	close(done)
+	e := &cacheEntry{key: key, done: done, lr: lr}
+	s.m[key] = e
+	s.complete(c, e)
+	return true
+}

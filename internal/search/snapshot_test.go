@@ -1,0 +1,196 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+)
+
+// TestCacheSnapshotRoundTrip is the warm-restart path: search, save,
+// load into a fresh cache, and the same lookup must hit without
+// recomputing, returning an identical schedule.
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l1 := layer.NewConv("a", 8, 8, 4, 4, 3)
+	l2 := layer.NewConv("b", 8, 8, 4, 8, 3)
+
+	want1, err := SearchLayer(l1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchLayer(l2, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := opts.Cache.SaveTo(&buf)
+	if err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("SaveTo wrote %d entries, want 2", n)
+	}
+
+	warm := NewCache()
+	loaded, err := warm.LoadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadFrom: %v", err)
+	}
+	if loaded != 2 {
+		t.Fatalf("LoadFrom installed %d entries, want 2", loaded)
+	}
+	if warm.Len() != 2 {
+		t.Fatalf("warm cache has %d entries, want 2", warm.Len())
+	}
+
+	opts.Cache = warm
+	got, err := SearchLayer(l1, opts)
+	if err != nil {
+		t.Fatalf("lookup on warm cache: %v", err)
+	}
+	s := warm.Stats()
+	if s.Misses != 0 || s.Hits != 1 {
+		t.Fatalf("warm lookup stats = %+v, want 0 misses 1 hit", s)
+	}
+	if got.BestOoO.LatencyCycles != want1.BestOoO.LatencyCycles ||
+		got.BestOoO.Factors != want1.BestOoO.Factors ||
+		got.BestStatic.LatencyCycles != want1.BestStatic.LatencyCycles {
+		t.Errorf("warm result differs from original:\n%+v\n%+v", got.BestOoO, want1.BestOoO)
+	}
+	if got.Layer.Name != "a" {
+		t.Errorf("warm result layer name = %q, want a", got.Layer.Name)
+	}
+}
+
+// TestCacheSnapshotSkipsFailures checks that cached negative results
+// (a layer whose search failed) are not persisted: a failure may be
+// transient, and a restart should get a fresh chance.
+func TestCacheSnapshotSkipsFailures(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	good := layer.NewConv("good", 8, 8, 4, 4, 3)
+	bad := layer.Conv{Name: "bad", InH: -1, InW: 8, InC: 4, OutC: 4,
+		KerH: 3, KerW: 3, StrideH: 1, StrideW: 1, ElemBytes: 2}
+
+	if _, err := SearchLayer(good, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchLayer(bad, opts); err == nil {
+		t.Fatal("invalid layer searched without error")
+	}
+	if n := opts.Cache.Len(); n != 2 {
+		t.Fatalf("cache has %d entries, want 2 (failure cached)", n)
+	}
+
+	var buf bytes.Buffer
+	n, err := opts.Cache.SaveTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("SaveTo wrote %d entries, want 1 (failures skipped)", n)
+	}
+}
+
+// TestCacheSnapshotVersionMismatch checks that a snapshot from an
+// incompatible version is rejected whole, degrading to a cold start.
+func TestCacheSnapshotVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(0); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	if _, err := c.LoadFrom(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("LoadFrom(future version) = %v, want version error", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache has %d entries after rejected load, want 0", c.Len())
+	}
+}
+
+// TestCacheSnapshotGarbage checks that arbitrary bytes are rejected
+// with an error instead of corrupting the cache.
+func TestCacheSnapshotGarbage(t *testing.T) {
+	c := NewCache()
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"text":      []byte("not a snapshot at all"),
+		"truncated": []byte{0x0d, 0x7f, 0x03, 0x01},
+	} {
+		if _, err := c.LoadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: LoadFrom succeeded, want error", name)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cache has %d entries after garbage loads, want 0", c.Len())
+	}
+}
+
+// TestCacheSnapshotRespectsCapacity loads a snapshot into a smaller
+// cache and checks the LRU bound still holds.
+func TestCacheSnapshotRespectsCapacity(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCacheSized(0) // unbounded source
+	const n = cacheShards + 4
+	for k := 0; k < n; k++ {
+		if _, err := SearchLayer(layer.NewConv("l", 8, 8, 4, 4+k, 3), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := opts.Cache.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	small := NewCacheSized(cacheShards) // capacity 1 per shard
+	if _, err := small.LoadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() > cacheShards {
+		t.Fatalf("loaded cache has %d entries, exceeds capacity %d", small.Len(), cacheShards)
+	}
+}
+
+// TestCacheSnapshotExistingEntriesWin checks that loading never
+// clobbers an entry the running process already has.
+func TestCacheSnapshotExistingEntriesWin(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("a", 8, 8, 4, 4, 3)
+	if _, err := SearchLayer(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := opts.Cache.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opts.Cache.LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 {
+		t.Fatalf("LoadFrom into the same cache installed %d entries, want 0", loaded)
+	}
+	if opts.Cache.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", opts.Cache.Len())
+	}
+
+	// The pre-existing entry must still be served (as a hit).
+	before := opts.Cache.Stats()
+	if _, err := SearchLayerCtx(context.Background(), l, opts); err != nil {
+		t.Fatal(err)
+	}
+	after := opts.Cache.Stats()
+	if after.Misses != before.Misses || after.Hits != before.Hits+1 {
+		t.Fatalf("stats %+v -> %+v, want one more hit and no new miss", before, after)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is a typed Go client for a flexerd server. The zero value is
@@ -102,7 +104,13 @@ func (c *Client) do(req *http.Request, out any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 			e.Error = resp.Status
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error, State: e.State}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve client: decode %s response: %w", req.URL.Path, err)
@@ -112,13 +120,25 @@ func (c *Client) do(req *http.Request, out any) error {
 
 // APIError is a non-2xx response from the server.
 type APIError struct {
-	// StatusCode is the HTTP status (400, 404, 422, 504, ...).
+	// StatusCode is the HTTP status (400, 422, 429, 504, ...).
 	StatusCode int
 	// Message is the server's error string.
 	Message string
+	// RetryAfter is the server's back-off hint on 429 responses
+	// (zero when the server sent none).
+	RetryAfter time.Duration
+	// State is the server's load snapshot on 429/504 responses, nil
+	// otherwise.
+	State *ServerStateJSON
 }
 
 // Error formats the status and message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("flexerd: %d: %s", e.StatusCode, e.Message)
+}
+
+// Temporary reports whether retrying later may succeed (shed load or a
+// timeout), letting callers branch without matching status codes.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusGatewayTimeout
 }

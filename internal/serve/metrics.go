@@ -26,7 +26,7 @@ type metrics struct {
 	errors    *expvar.Map // request_errors_total by HTTP status code
 	inflight  *expvar.Int // requests currently being handled
 	searching *expvar.Int // searches currently holding a worker slot
-	queued    *expvar.Int // requests waiting for a worker slot
+	shed      *expvar.Int // requests rejected by admission control (429)
 	latency   *latencyHist
 	netLat    *latencyHist
 }
@@ -44,7 +44,7 @@ func newMetrics() *metrics {
 		errors:    new(expvar.Map).Init(),
 		inflight:  new(expvar.Int),
 		searching: new(expvar.Int),
-		queued:    new(expvar.Int),
+		shed:      new(expvar.Int),
 		latency:   newLatencyHist(),
 		netLat:    newLatencyHist(),
 	}
@@ -52,7 +52,7 @@ func newMetrics() *metrics {
 	m.publish("request_errors_total", m.errors)
 	m.publish("requests_inflight", m.inflight)
 	m.publish("searches_inflight", m.searching)
-	m.publish("requests_queued", m.queued)
+	m.publish("requests_shed_total", m.shed)
 	m.publish("search_latency_ms", m.latency)
 	m.publish("network_search_latency_ms", m.netLat)
 	return m
@@ -122,6 +122,18 @@ func (h *latencyHist) Observe(d time.Duration) {
 		}
 	}
 	h.buckets[len(h.buckets)-1]++
+}
+
+// MeanMS returns the mean observed latency in milliseconds, or 0
+// before any observation. Admission control uses it to derive a
+// Retry-After estimate for shed requests.
+func (h *latencyHist) MeanMS() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sumMS / float64(h.count)
 }
 
 // String renders the histogram as JSON: count, sum, mean, max and the

@@ -1,8 +1,11 @@
 // Package serve turns the Flexer layer/network search into a
 // long-running service: it wraps search.SearchLayerCtx and
-// search.SearchNetworkCtx with a shared result cache, a bounded worker
-// pool with per-request timeouts, and an expvar-style observability
-// surface, and exposes the whole thing as an http.Handler.
+// search.SearchNetworkCtx with a shared result cache (optionally
+// persisted to disk across restarts), a bounded worker pool with
+// per-request timeouts, queue-depth admission control that sheds
+// excess load with 429 + Retry-After, and an expvar-style
+// observability surface, and exposes the whole thing as an
+// http.Handler.
 //
 // The daemon binary cmd/flexerd is a thin wrapper around this package;
 // Client is the matching Go client. The HTTP surface:
@@ -26,10 +29,16 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"io/fs"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/search"
@@ -44,6 +53,12 @@ type Config struct {
 	// Workers is the maximum number of concurrently running searches;
 	// further requests queue until a slot frees (0 = GOMAXPROCS).
 	Workers int
+	// MaxQueueDepth bounds how many schedule requests may wait for a
+	// worker slot; beyond it the server sheds load with 429 and a
+	// Retry-After estimate instead of letting every request camp on
+	// the pool until its deadline 504s (0 = 4x Workers; negative =
+	// unlimited, the pre-admission-control behavior).
+	MaxQueueDepth int
 	// SearchParallelism is the per-search worker count handed to
 	// search.Options.Workers (0 = GOMAXPROCS). Lower it when Workers
 	// is high to avoid oversubscription.
@@ -68,6 +83,7 @@ type Server struct {
 	cfg     Config
 	cache   *search.Cache
 	sem     chan struct{} // worker-pool slots
+	queued  atomic.Int64  // requests between admission and a worker slot
 	metrics *metrics
 	start   time.Time
 	log     *log.Logger
@@ -77,6 +93,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueueDepth == 0 {
+		cfg.MaxQueueDepth = 4 * cfg.Workers
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 60 * time.Second
@@ -108,6 +127,8 @@ func New(cfg Config) *Server {
 	s.metrics.publish("cache", expvar.Func(func() any { return s.cache.Stats() }))
 	s.metrics.publish("cache_hit_ratio", expvar.Func(func() any { return s.cache.Stats().HitRatio() }))
 	s.metrics.publish("worker_pool_size", expvar.Func(func() any { return cfg.Workers }))
+	s.metrics.publish("requests_queued", expvar.Func(func() any { return s.queued.Load() }))
+	s.metrics.publish("queue_depth_limit", expvar.Func(func() any { return cfg.MaxQueueDepth }))
 	s.metrics.publish("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	return s
 }
@@ -115,6 +136,51 @@ func New(cfg Config) *Server {
 // Cache exposes the server's shared result cache (e.g. for pre-warming
 // or inspection in tests).
 func (s *Server) Cache() *search.Cache { return s.cache }
+
+// SaveCacheFile atomically snapshots the result cache to path: the
+// snapshot is written to a temporary file in the same directory and
+// renamed into place, so a crash mid-write never clobbers the previous
+// snapshot. It returns the number of entries written.
+func (s *Server) SaveCacheFile(path string) (int, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("cache snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	n, err := s.cache.SaveTo(tmp)
+	if err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return n, fmt.Errorf("cache snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return n, fmt.Errorf("cache snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return n, fmt.Errorf("cache snapshot: %w", err)
+	}
+	return n, nil
+}
+
+// LoadCacheFile warms the result cache from a snapshot written by
+// SaveCacheFile, returning how many entries were installed. A missing
+// file is not an error — the first boot of a daemon with -cache-file
+// simply starts cold.
+func (s *Server) LoadCacheFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cache snapshot: %w", err)
+	}
+	defer f.Close()
+	return s.cache.LoadFrom(f)
+}
 
 // Handler returns the routing table of the HTTP surface. Every route
 // here is documented in docs/API.md.
@@ -163,6 +229,18 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the underlying writer so instrumented handlers can
+// stream; without it the wrapper hides the http.Flusher the net/http
+// ResponseWriter implements.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // handleLayer serves POST /v1/schedule/layer.
 func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
@@ -232,15 +310,18 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	opts.Cache = s.cache
 	opts.Workers = s.cfg.SearchParallelism
 
+	// Per-request miss counter: the cache's global Misses delta would
+	// count searches run on behalf of concurrent requests too.
+	var misses atomic.Int64
+	opts.CacheMisses = &misses
+
 	start := time.Now()
-	before := s.cache.Stats()
 	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
 		nr, err := search.SearchNetworkCtx(ctx, n, opts)
 		if err != nil {
 			return nil, err
 		}
-		distinct := int(s.cache.Stats().Misses - before.Misses)
-		return buildNetworkResponse(nr, distinct, msSince(start)), nil
+		return buildNetworkResponse(nr, int(misses.Load()), msSince(start)), nil
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -285,12 +366,19 @@ func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Con
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 
-	s.metrics.queued.Add(1)
+	// Admission control: add-then-check keeps the gauge exact under
+	// concurrency, so a burst can never overshoot the queue bound.
+	if n := s.queued.Add(1); s.cfg.MaxQueueDepth >= 0 && n > int64(s.cfg.MaxQueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.shed.Add(1)
+		cancel()
+		return nil, overloadedError{retryAfter: s.retryAfter()}
+	}
 	select {
 	case s.sem <- struct{}{}:
-		s.metrics.queued.Add(-1)
+		s.queued.Add(-1)
 	case <-ctx.Done():
-		s.metrics.queued.Add(-1)
+		s.queued.Add(-1)
 		cancel()
 		return nil, ctx.Err()
 	}
@@ -338,16 +426,64 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// retryAfter estimates when a shed client should come back: the queue
+// ahead of it, paced by the mean observed search latency per worker,
+// clamped to [1s, 5min]. Before any observation it falls back to 1s.
+func (s *Server) retryAfter() time.Duration {
+	mean := s.metrics.latency.MeanMS()
+	if nm := s.metrics.netLat.MeanMS(); nm > mean {
+		mean = nm
+	}
+	if mean <= 0 {
+		mean = 1000
+	}
+	backlog := float64(s.queued.Load() + 1)
+	d := time.Duration(mean*backlog/float64(s.cfg.Workers)) * time.Millisecond
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// state snapshots the queue and cache for degraded-mode error bodies,
+// so a client that was shed or timed out can see why.
+func (s *Server) state() *ServerStateJSON {
+	return &ServerStateJSON{
+		Queued:     s.queued.Load(),
+		QueueLimit: s.cfg.MaxQueueDepth,
+		Searching:  s.metrics.searching.Value(),
+		Workers:    s.cfg.Workers,
+		Cache:      s.cache.Stats(),
+	}
+}
+
 // fail maps an error to its HTTP status: 400 for malformed requests,
-// 504 for deadlines, 499-style client-closed for cancellations, and
-// 422 for well-formed requests the search cannot satisfy.
+// 429 for shed load (with a Retry-After header), 504 for deadlines,
+// 499-style client-closed for cancellations, and 422 for well-formed
+// requests the search cannot satisfy. Shed and timed-out responses
+// carry the queue/cache state so clients can degrade gracefully.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var bad badRequestError
+	var over overloadedError
 	switch {
 	case errors.As(err, &bad):
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: bad.Error()})
+	case errors.As(err, &over):
+		secs := int(math.Ceil(over.retryAfter.Seconds()))
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:             "server overloaded: schedule queue is full; retry after the advertised delay",
+			RetryAfterSeconds: secs,
+			State:             s.state(),
+		})
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "search timed out; retry with a larger timeout_ms or budget=quick"})
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
+			Error: "search timed out; retry with a larger timeout_ms or budget=quick",
+			State: s.state(),
+		})
 	case errors.Is(err, context.Canceled):
 		// Client went away; 499 is nginx's convention for it.
 		writeJSON(w, 499, ErrorResponse{Error: "request cancelled"})

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/layer"
@@ -228,6 +229,38 @@ type PresetsResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429
+	// responses: the server's estimate of when a slot will free up.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// State reports the server's load at failure time on 429 and 504
+	// responses, so clients can degrade gracefully (back off, fall
+	// back to a local search, or alert).
+	State *ServerStateJSON `json:"state,omitempty"`
+}
+
+// ServerStateJSON is a point-in-time view of the serving pipeline,
+// attached to shed and timed-out responses.
+type ServerStateJSON struct {
+	// Queued is the number of requests waiting for a worker slot.
+	Queued int64 `json:"queued"`
+	// QueueLimit is the configured admission bound (negative =
+	// unlimited).
+	QueueLimit int `json:"queue_limit"`
+	// Searching is the number of searches currently holding a slot.
+	Searching int64 `json:"searching"`
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// Cache is the shared result cache's hit/miss/eviction snapshot.
+	Cache search.CacheStats `json:"cache"`
+}
+
+// overloadedError is returned by the admission check when the schedule
+// queue is full; the handler maps it to 429 with a Retry-After header.
+type overloadedError struct{ retryAfter time.Duration }
+
+// Error describes the shed.
+func (e overloadedError) Error() string {
+	return fmt.Sprintf("server overloaded: schedule queue is full, retry in %v", e.retryAfter)
 }
 
 // badRequestError marks client mistakes (unknown names, invalid
