@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-short bench run-flexerd
+# Combined statement coverage required of internal/serve + internal/search.
+COVER_MIN ?= 70
+
+.PHONY: check build vet test test-short bench bench-smoke lint cover cover-check run-flexerd
 
 check: build vet test
 
@@ -22,6 +25,49 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark in the packages that have them —
+# catches benchmarks that no longer compile or crash, without the cost
+# of a real measurement run. CI uploads the output as an artifact.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/search/... ./internal/sim/...
+
+# Static analysis beyond go vet. staticcheck and govulncheck are
+# optional locally (CI installs them): each is skipped with a hint when
+# not on PATH, so lint never requires network access.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not found, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not found, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Statement coverage across all internal packages, with the full
+# per-function table.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=count -coverpkg=./internal/... ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Gate: combined statement coverage of internal/serve + internal/search
+# must be at least COVER_MIN percent. Run `make cover` first (CI runs
+# both; this target depends on cover.out existing).
+cover-check: cover
+	@awk ' \
+		NR > 1 && $$1 ~ /internal\/(serve|search)\// { \
+			stmts[$$1] = $$2; counts[$$1] += $$3; \
+		} \
+		END { \
+			for (k in stmts) { total += stmts[k]; if (counts[k] > 0) covered += stmts[k] } \
+			if (total == 0) { print "cover-check: no statements found"; exit 1 } \
+			pct = 100 * covered / total; \
+			printf "cover-check: internal/serve+internal/search coverage %.1f%% (floor $(COVER_MIN)%%)\n", pct; \
+			if (pct < $(COVER_MIN)) exit 1; \
+		}' cover.out
 
 run-flexerd:
 	$(GO) run ./cmd/flexerd

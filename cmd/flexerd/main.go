@@ -13,6 +13,7 @@
 //
 //	POST /v1/schedule/layer    schedule one layer
 //	POST /v1/schedule/network  schedule a whole network
+//	POST /v1/schedule/*?stream=1  same, streaming NDJSON progress
 //	GET  /v1/presets           archs, networks and option enums
 //	GET  /healthz              liveness probe
 //	GET  /debug/vars           metrics (expvar JSON)
@@ -20,7 +21,8 @@
 //
 // When the schedule queue exceeds -queue-depth, further schedule
 // requests are shed with 429 and a Retry-After estimate instead of
-// camping on the worker pool until their deadline.
+// camping on the worker pool until their deadline. Concurrent
+// identical requests coalesce into one underlying search.
 //
 // With -cache-file, the result cache is loaded on boot and snapshotted
 // atomically every -cache-snapshot-interval and on shutdown, so a

@@ -1,0 +1,59 @@
+package search
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/layer"
+)
+
+func benchOpts(b *testing.B, archName string) Options {
+	b.Helper()
+	cfg, err := arch.Preset(archName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Options{Arch: cfg, Budget: QuickBudget()}
+}
+
+// BenchmarkSearchLayerQuick measures one uncached quick-budget layer
+// search end to end (tiling enumeration, OoO scheduling, baselines).
+func BenchmarkSearchLayerQuick(b *testing.B) {
+	opts := benchOpts(b, "arch1")
+	l := layer.NewConv("bench", 14, 14, 64, 64, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchLayer(l, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchLayerCached measures the warm-cache fast path: the
+// same request served from the result cache.
+func BenchmarkSearchLayerCached(b *testing.B) {
+	opts := benchOpts(b, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("bench", 14, 14, 64, 64, 3)
+	if _, err := SearchLayer(l, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchLayer(l, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheKey measures fingerprinting a layer + options into the
+// coalescing key — this runs on every request, hit or miss.
+func BenchmarkCacheKey(b *testing.B) {
+	opts := benchOpts(b, "arch1")
+	l := layer.NewConv("bench", 14, 14, 64, 64, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cacheKey(l, opts)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/loop"
 )
 
 // Cache memoizes layer search results by layer shape (ignoring the
@@ -21,16 +23,21 @@ import (
 // The cache is sharded to keep lock contention off the search hot
 // path, optionally bounded (per-shard LRU eviction of completed
 // entries), and safe for concurrent use. Concurrent lookups of the
-// same key are coalesced: the first caller computes, the others wait
-// for the in-flight result (or until their context is cancelled).
-// Hit, miss and eviction counters are exported through Stats for
-// observability layers such as internal/serve.
+// same key are coalesced (singleflight): the first caller computes,
+// the others attach to the in-flight search and share its result (or
+// bail out when their own context is cancelled, without disturbing
+// the leader). Hit, miss, coalesced and eviction counters are
+// exported through Stats for observability layers such as
+// internal/serve; hits and coalesced hits are disjoint, so the
+// counters distinguish "served from a completed entry" from "attached
+// to a search another caller was already running".
 type Cache struct {
 	shards   []cacheShard
 	capacity int // max completed entries per shard; 0 = unbounded
 
 	hits      atomic.Int64
 	misses    atomic.Int64
+	coalesced atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -88,33 +95,41 @@ func NewCacheSized(capacity int) *Cache {
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	// Hits counts lookups served from a completed or in-flight entry.
+	// Hits counts lookups served from a completed entry.
 	Hits int64 `json:"hits"`
 	// Misses counts lookups that had to run the search.
 	Misses int64 `json:"misses"`
+	// CoalescedHits counts lookups that attached to another caller's
+	// in-flight search instead of running their own; disjoint from
+	// Hits. A retrying waiter (its leader was cancelled) may account
+	// more than one coalesced hit.
+	CoalescedHits int64 `json:"coalesced_hits"`
 	// Evictions counts completed entries discarded to stay in bounds.
 	Evictions int64 `json:"evictions"`
 	// Entries is the current number of entries, including in-flight.
 	Entries int `json:"entries"`
 }
 
-// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+// HitRatio returns the fraction of lookups that avoided a search —
+// (Hits + CoalescedHits) / all lookups — or 0 before any lookup.
 func (s CacheStats) HitRatio() float64 {
-	total := s.Hits + s.Misses
+	avoided := s.Hits + s.CoalescedHits
+	total := avoided + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(avoided) / float64(total)
 }
 
-// Stats returns a snapshot of the hit/miss/eviction counters and entry
-// count.
+// Stats returns a snapshot of the hit/miss/coalesced/eviction counters
+// and entry count.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		CoalescedHits: c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       c.Len(),
 	}
 }
 
@@ -176,11 +191,25 @@ func (c *Cache) layer(ctx context.Context, l layer.Conv, opts Options) (*LayerRe
 			s.mu.Unlock()
 			return finishLookup(e, l)
 		}
+		// A completed entry (success or cached failure) has an LRU
+		// position; an entry without one is still in flight, so this
+		// lookup coalesces onto the leader's search. Cancelled entries
+		// are deleted under the lock before their done channel closes,
+		// so they can never be found here.
 		if e.elem != nil {
 			s.lru.MoveToFront(e.elem)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			if opts.Progress != nil {
+				opts.Progress(ProgressEvent{Layer: l.Name, CacheHit: true})
+			}
+		} else {
+			s.mu.Unlock()
+			c.coalesced.Add(1)
+			if opts.Progress != nil {
+				opts.Progress(ProgressEvent{Layer: l.Name, Coalesced: true})
+			}
 		}
-		s.mu.Unlock()
-		c.hits.Add(1)
 		select {
 		case <-e.done:
 		case <-ctx.Done():
@@ -230,16 +259,42 @@ func (s *cacheShard) complete(c *Cache, e *cacheEntry) {
 	}
 }
 
-// cacheKey fingerprints everything that affects a layer search except
-// the layer's name.
+// cacheKey fingerprints everything that affects a layer search result
+// except the layer's name. Every result-relevant Options field must
+// participate — metric, budget (including the identity of each
+// baseline dataflow, not just their count), arch, priority, memory
+// policy and the ablation switches — so two requests differing in any
+// of them are never coalesced onto one search. Fields that cannot
+// change the result (Workers, Cache, CacheMisses, Progress) are
+// deliberately excluded so requests differing only in plumbing share
+// one search.
 func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""
 	b := opts.Budget
-	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%d|%v%v%v|%d:%d:%d:%d:%d",
+	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v|%d:%d:%d:%d:%d",
 		shape,
 		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
-		opts.Metric, opts.Priority, opts.MemPolicy, len(b.Dataflows),
+		opts.Metric, opts.Priority, opts.MemPolicy, dataflowsKey(b.Dataflows),
 		opts.DisableInPlace, opts.DisablePruning, b.HintedOoO,
 		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets)
+}
+
+// dataflowsKey fingerprints the baseline dataflow set by the name and
+// permutation of every entry. A nil set means loop.Canonical() at
+// search time, so it maps to the same key as the explicit canonical
+// list; previously only the length participated, which coalesced
+// different same-length sets onto one cached result.
+func dataflowsKey(dfs []loop.Dataflow) string {
+	if dfs == nil {
+		dfs = loop.Canonical()
+	}
+	var sb strings.Builder
+	for i, df := range dfs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(df.String())
+	}
+	return sb.String()
 }

@@ -5,10 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/loop"
 	"github.com/flexer-sched/flexer/internal/nets"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/spm"
 )
 
 // TestCacheStatsHitMiss checks the observable miss-then-hit sequence a
@@ -86,8 +92,11 @@ func TestCacheConcurrent(t *testing.T) {
 	if s.Misses != distinct {
 		t.Errorf("misses = %d, want %d (one per distinct shape)", s.Misses, distinct)
 	}
-	if s.Hits != workers*perWorker-distinct {
-		t.Errorf("hits = %d, want %d", s.Hits, workers*perWorker-distinct)
+	// A lookup that raced the computing leader counts as coalesced, a
+	// lookup of the finished entry as a plain hit; together they must
+	// cover every non-miss lookup.
+	if got := s.Hits + s.CoalescedHits; got != workers*perWorker-distinct {
+		t.Errorf("hits+coalesced = %d, want %d", got, workers*perWorker-distinct)
 	}
 	if s.Entries != distinct {
 		t.Errorf("entries = %d, want %d", s.Entries, distinct)
@@ -174,8 +183,8 @@ func TestCacheConcurrentEviction(t *testing.T) {
 		}
 	}
 	s := cache.Stats()
-	if s.Hits+s.Misses != workers*perWorker {
-		t.Errorf("hits+misses = %d, want %d", s.Hits+s.Misses, workers*perWorker)
+	if got := s.Hits + s.CoalescedHits + s.Misses; got != workers*perWorker {
+		t.Errorf("hits+coalesced+misses = %d, want %d", got, workers*perWorker)
 	}
 	if s.Entries > cacheShards {
 		t.Errorf("entries = %d, exceeds capacity %d", s.Entries, cacheShards)
@@ -297,8 +306,244 @@ func TestCacheCancelledEntryRetryLoop(t *testing.T) {
 	// A retrying waiter re-enters the lookup loop, so it may account
 	// more than one hit; the floor is one account per caller.
 	s := opts.Cache.Stats()
-	if s.Hits+s.Misses < waiters+1 {
-		t.Errorf("hits+misses = %d, want >= %d", s.Hits+s.Misses, waiters+1)
+	if got := s.Hits + s.CoalescedHits + s.Misses; got < waiters+1 {
+		t.Errorf("hits+coalesced+misses = %d, want >= %d", got, waiters+1)
+	}
+}
+
+// holdLeader returns Options whose Progress callback blocks the
+// leader's search at its first candidate event until release is
+// closed, signalling started once. The reporter invokes the callback
+// under its lock, so every other candidate goroutine of that search
+// queues behind it and the layer search cannot complete — the entry
+// stays deterministically in flight.
+func holdLeader(opts Options, started chan<- struct{}, release <-chan struct{}) Options {
+	var once sync.Once
+	opts.Progress = func(ProgressEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	return opts
+}
+
+// waitForCoalesced polls until the cache has accounted n coalesced
+// hits (the joiners have attached to the in-flight entry).
+func waitForCoalesced(t *testing.T, c *Cache, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().CoalescedHits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced hits stuck at %d, want %d", c.Stats().CoalescedHits, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheCoalescingSingleSearch is the singleflight acceptance test:
+// with one search deterministically held in flight, N concurrent
+// lookups of the same key all attach to it — exactly one underlying
+// search runs, the joiners are accounted as coalesced hits (not plain
+// hits), and everyone gets the leader's result.
+func TestCacheCoalescingSingleSearch(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	cache := NewCache()
+	opts.Cache = cache
+	l := layer.NewConv("l", 14, 14, 64, 64, 3)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderOpts := holdLeader(opts, started, release)
+
+	var wg sync.WaitGroup
+	var leaderRes *LayerResult
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderErr = SearchLayer(l, leaderOpts)
+	}()
+	<-started
+
+	const joiners = 8
+	results := make([]*LayerResult, joiners)
+	errs := make([]error, joiners)
+	for i := 0; i < joiners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = SearchLayer(l, opts)
+		}(i)
+	}
+	waitForCoalesced(t, cache, joiners)
+	close(release)
+	wg.Wait()
+
+	if leaderErr != nil {
+		t.Fatalf("leader: %v", leaderErr)
+	}
+	for i := 0; i < joiners; i++ {
+		if errs[i] != nil {
+			t.Fatalf("joiner %d: %v", i, errs[i])
+		}
+		if results[i].BestOoO.LatencyCycles != leaderRes.BestOoO.LatencyCycles {
+			t.Errorf("joiner %d latency %d != leader %d", i,
+				results[i].BestOoO.LatencyCycles, leaderRes.BestOoO.LatencyCycles)
+		}
+		if results[i].Layer.Name != "l" {
+			t.Errorf("joiner %d layer name %q", i, results[i].Layer.Name)
+		}
+	}
+	s := cache.Stats()
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 underlying search", s.Misses)
+	}
+	if s.CoalescedHits != joiners {
+		t.Errorf("coalesced hits = %d, want %d", s.CoalescedHits, joiners)
+	}
+	if s.Hits != 0 {
+		t.Errorf("hits = %d, want 0 (every non-leader attached in flight)", s.Hits)
+	}
+}
+
+// TestCacheCoalescedJoinerCancelled checks that a joiner whose context
+// dies mid-flight gets ctx.Err() immediately without poisoning the
+// leader: the leader's search completes, its entry stays valid, and a
+// later lookup is a plain hit.
+func TestCacheCoalescedJoinerCancelled(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	cache := NewCache()
+	opts.Cache = cache
+	l := layer.NewConv("l", 14, 14, 64, 64, 3)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderOpts := holdLeader(opts, started, release)
+
+	var wg sync.WaitGroup
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderErr = SearchLayer(l, leaderOpts)
+	}()
+	<-started
+
+	joinCtx, cancelJoin := context.WithCancel(context.Background())
+	joinErr := make(chan error, 1)
+	go func() {
+		_, err := SearchLayerCtx(joinCtx, l, opts)
+		joinErr <- err
+	}()
+	waitForCoalesced(t, cache, 1)
+	cancelJoin()
+
+	// The joiner must return promptly with its own ctx error, while
+	// the leader is still held in flight.
+	select {
+	case err := <-joinErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled joiner returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled joiner did not return while leader in flight")
+	}
+
+	close(release)
+	wg.Wait()
+	if leaderErr != nil {
+		t.Fatalf("leader failed after joiner cancellation: %v", leaderErr)
+	}
+	// The surviving entry serves later lookups as plain hits.
+	if _, err := SearchLayer(l, opts); err != nil {
+		t.Fatalf("post-cancel lookup: %v", err)
+	}
+	s := cache.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss and 1 hit (leader result intact)", s)
+	}
+}
+
+// TestCacheKeyCoversOptions is the regression test for the coalescing
+// key: every search-relevant Options field must change the key, and
+// result-irrelevant plumbing must not, so requests are coalesced if
+// and only if they would compute identical results.
+func TestCacheKeyCoversOptions(t *testing.T) {
+	l := layer.NewConv("l", 14, 14, 64, 64, 3)
+	base := quickOpts(t, "arch1")
+	baseKey := cacheKey(l, base)
+
+	distinct := map[string]Options{}
+	withOpt := func(name string, mutate func(*Options)) {
+		o := base
+		mutate(&o)
+		distinct[name] = o
+	}
+	withOpt("metric", func(o *Options) { o.Metric = MetricMinTransfer() })
+	withOpt("arch", func(o *Options) {
+		cfg, err := arch.Preset("arch2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Arch = cfg
+	})
+	withOpt("priority", func(o *Options) { o.Priority = sched.PriorityMinTransfer })
+	withOpt("mem-policy", func(o *Options) { o.MemPolicy = spm.PolicyFirstFit })
+	withOpt("budget-tilings", func(o *Options) { o.Budget.MaxTilings++ })
+	withOpt("budget-hinted", func(o *Options) { o.Budget.HintedOoO = !o.Budget.HintedOoO })
+	withOpt("ablation", func(o *Options) { o.DisableInPlace = true })
+	// Two dataflow sets of equal length but different content: before
+	// the fix only len(Dataflows) was keyed, coalescing these.
+	withOpt("dataflows-front", func(o *Options) { o.Budget.Dataflows = loop.Canonical()[:3] })
+	withOpt("dataflows-back", func(o *Options) { o.Budget.Dataflows = loop.Canonical()[3:] })
+
+	seen := map[string]string{"base": baseKey}
+	for name, o := range distinct {
+		key := cacheKey(l, o)
+		for other, otherKey := range seen {
+			if key == otherKey {
+				t.Errorf("options %q and %q share a cache key; they must never coalesce", name, other)
+			}
+		}
+		seen[name] = key
+	}
+
+	// Plumbing that cannot change the result must share the base key,
+	// so such requests do coalesce.
+	same := map[string]Options{}
+	withSame := func(name string, mutate func(*Options)) {
+		o := base
+		mutate(&o)
+		same[name] = o
+	}
+	withSame("workers", func(o *Options) { o.Workers = 3 })
+	withSame("progress", func(o *Options) { o.Progress = func(ProgressEvent) {} })
+	withSame("cache-misses", func(o *Options) { o.CacheMisses = new(atomic.Int64) })
+	withSame("nil-dataflows-vs-canonical", func(o *Options) { o.Budget.Dataflows = nil })
+	for name, o := range same {
+		if key := cacheKey(l, o); key != baseKey {
+			t.Errorf("options %q changed the cache key; identical searches would not coalesce", name)
+		}
+	}
+}
+
+// TestCacheMetricNotCoalesced is the behavioral half of the key
+// regression: the same shape under two metrics runs two searches.
+func TestCacheMetricNotCoalesced(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l := layer.NewConv("l", 8, 8, 4, 4, 3)
+
+	if _, err := SearchLayer(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	minT := opts
+	minT.Metric = MetricMinTransfer()
+	if _, err := SearchLayer(l, minT); err != nil {
+		t.Fatal(err)
+	}
+	s := opts.Cache.Stats()
+	if s.Misses != 2 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses 0 hits (metrics must not share a result)", s)
 	}
 }
 

@@ -1,0 +1,82 @@
+package search
+
+import "sync"
+
+// ProgressEvent is one report from a running search. Layer-level
+// events carry the candidate counters; SearchNetworkCtx additionally
+// fills the network-level counters and emits one LayerDone event per
+// finished layer. Cache lookups that avoid a search report themselves
+// with CacheHit or Coalesced set so streaming callers still see one
+// event per layer.
+type ProgressEvent struct {
+	// Layer names the layer the event concerns.
+	Layer string
+	// CandidatesDone / CandidatesTotal count the tilings scheduled so
+	// far out of the enumerated candidates for this layer. Infeasible
+	// tilings count as done, so Done always reaches Total.
+	CandidatesDone  int
+	CandidatesTotal int
+	// BestScore is the lowest metric score across the OoO schedules
+	// completed so far (0 until the first feasible candidate).
+	BestScore float64
+	// LayerDone marks the completion of this layer's search.
+	LayerDone bool
+	// LayersDone / LayersTotal track whole-network completion; both are
+	// zero for single-layer searches.
+	LayersDone  int
+	LayersTotal int
+	// CacheHit marks a lookup served from a completed cache entry.
+	CacheHit bool
+	// Coalesced marks a lookup that attached to another caller's
+	// in-flight search instead of running its own.
+	Coalesced bool
+}
+
+// ProgressFunc receives progress events. It may be invoked from
+// multiple search goroutines concurrently (candidate events for one
+// layer are serialized, but different layers of a network report
+// independently), so implementations must be safe for concurrent use
+// and should return quickly — a slow callback stalls the search.
+type ProgressFunc func(ProgressEvent)
+
+// progressReporter serializes the candidate-level events of one layer
+// search: it tracks candidates done and the best score so far, and
+// invokes the callback under its lock so counters arrive monotonic.
+type progressReporter struct {
+	mu    sync.Mutex
+	fn    ProgressFunc
+	layer string
+	total int
+	done  int
+	best  float64
+	has   bool
+}
+
+// newProgressReporter returns a reporter for one layer search, or nil
+// when no callback is installed (the nil reporter ignores events).
+func newProgressReporter(fn ProgressFunc, layer string, total int) *progressReporter {
+	if fn == nil {
+		return nil
+	}
+	return &progressReporter{fn: fn, layer: layer, total: total}
+}
+
+// candidateDone records one scheduled tiling — ok is false for a
+// tiling that could not be scheduled — and reports progress.
+func (p *progressReporter) candidateDone(score float64, ok bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if ok && (!p.has || score < p.best) {
+		p.best, p.has = score, true
+	}
+	p.fn(ProgressEvent{
+		Layer:           p.layer,
+		CandidatesDone:  p.done,
+		CandidatesTotal: p.total,
+		BestScore:       p.best,
+	})
+}

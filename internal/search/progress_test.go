@@ -1,0 +1,141 @@
+package search
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/nets"
+)
+
+// eventCollector is a concurrency-safe ProgressFunc that records every
+// event in order of arrival.
+type eventCollector struct {
+	mu     sync.Mutex
+	events []ProgressEvent
+}
+
+func (c *eventCollector) record(ev ProgressEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *eventCollector) snapshot() []ProgressEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ProgressEvent(nil), c.events...)
+}
+
+// TestSearchLayerProgress checks the candidate-level progress stream
+// of one layer search: one event per tiling, monotonically increasing
+// done counters, a constant total, and a non-increasing best score
+// that ends at the metric score of the returned best OoO schedule.
+func TestSearchLayerProgress(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	var col eventCollector
+	opts.Progress = col.record
+	l := layer.NewConv("l", 28, 28, 64, 96, 3)
+
+	lr, err := SearchLayer(l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.snapshot()
+	if len(events) == 0 {
+		t.Fatal("no progress events from an uncached layer search")
+	}
+	// Every enumerated tiling reports exactly once — feasible ones as
+	// candidates, infeasible ones as plain done ticks.
+	if len(events) < len(lr.Candidates) {
+		t.Fatalf("%d events for %d candidates", len(events), len(lr.Candidates))
+	}
+	total := events[0].CandidatesTotal
+	if total <= 0 {
+		t.Fatalf("CandidatesTotal = %d, want > 0", total)
+	}
+	if len(events) != total {
+		t.Fatalf("%d events, want one per enumerated tiling (%d)", len(events), total)
+	}
+	prevDone := 0
+	prevBest := 0.0
+	for i, ev := range events {
+		if ev.Layer != "l" {
+			t.Errorf("event %d layer = %q, want l", i, ev.Layer)
+		}
+		if ev.CandidatesTotal != total {
+			t.Errorf("event %d total = %d, want constant %d", i, ev.CandidatesTotal, total)
+		}
+		if ev.CandidatesDone != prevDone+1 {
+			t.Errorf("event %d done = %d, want %d (monotonic)", i, ev.CandidatesDone, prevDone+1)
+		}
+		prevDone = ev.CandidatesDone
+		if ev.BestScore > 0 && prevBest > 0 && ev.BestScore > prevBest {
+			t.Errorf("event %d best score rose: %g -> %g", i, prevBest, ev.BestScore)
+		}
+		if ev.BestScore > 0 {
+			prevBest = ev.BestScore
+		}
+	}
+	last := events[len(events)-1]
+	if last.CandidatesDone != last.CandidatesTotal {
+		t.Errorf("final event %d/%d, want done == total", last.CandidatesDone, last.CandidatesTotal)
+	}
+	want := opts.Metric.Score(lr.BestOoO.LatencyCycles, lr.BestOoO.TrafficBytes())
+	if last.BestScore != want {
+		t.Errorf("final best score %g, want %g (score of BestOoO)", last.BestScore, want)
+	}
+}
+
+// TestSearchNetworkProgress checks the network-level stream: one
+// LayerDone event per layer with an exact layers_done count, correct
+// totals on every event, and cache-hit notices for repeated shapes.
+func TestSearchNetworkProgress(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	var col eventCollector
+	opts.Progress = col.record
+
+	// Three layers, two sharing a shape: the duplicate must be served
+	// as a cache hit or coalesced join, never a second search.
+	n := nets.Network{Name: "tiny", Layers: []layer.Conv{
+		layer.NewConv("a1", 8, 8, 4, 4, 3),
+		layer.NewConv("b", 8, 8, 4, 8, 3),
+		layer.NewConv("a2", 8, 8, 4, 4, 3),
+	}}
+	if _, err := SearchNetwork(n, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	events := col.snapshot()
+	var layerDone, avoided int
+	for _, ev := range events {
+		if ev.LayersTotal != len(n.Layers) {
+			t.Errorf("event %+v: layers_total = %d, want %d", ev, ev.LayersTotal, len(n.Layers))
+		}
+		if ev.LayerDone {
+			layerDone++
+		}
+		if ev.CacheHit || ev.Coalesced {
+			avoided++
+		}
+	}
+	if layerDone != len(n.Layers) {
+		t.Errorf("layer-done events = %d, want %d", layerDone, len(n.Layers))
+	}
+	if avoided != 1 {
+		t.Errorf("cache-hit/coalesced events = %d, want 1 (the repeated shape)", avoided)
+	}
+	// The last LayerDone event must report full completion.
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].LayerDone {
+			if events[i].LayersDone != len(n.Layers) {
+				t.Errorf("final layer-done reports %d/%d layers", events[i].LayersDone, events[i].LayersTotal)
+			}
+			break
+		}
+	}
+	if s := opts.Cache.Stats(); s.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (two distinct shapes)", s.Misses)
+	}
+}

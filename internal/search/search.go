@@ -107,6 +107,13 @@ type Options struct {
 	// fresh counter per request for per-request accounting; the Cache's
 	// own Stats counters are process-global and unsuitable for that.
 	CacheMisses *atomic.Int64
+	// Progress, when non-nil, receives ProgressEvent updates while the
+	// search runs: candidates evaluated and the best score so far per
+	// layer, per-layer completion during a network search, and
+	// cache-hit/coalesced notices for lookups that avoid a search.
+	// Progress never affects the result and is excluded from the cache
+	// key, so callers with different callbacks still share one search.
+	Progress ProgressFunc
 
 	// sem is a shared worker-pool semaphore; SearchNetwork installs one
 	// so nested layer searches share a single parallelism budget.
@@ -188,6 +195,7 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 		dataflows = loop.Canonical()
 	}
 	m := model.New(opts.Arch)
+	reporter := newProgressReporter(opts.Progress, l.Name, len(tilings))
 
 	results := make([]Candidate, len(tilings))
 	errs := make([]error, len(tilings))
@@ -212,6 +220,12 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 				return
 			}
 			results[i], errs[i] = scheduleTiling(ctx, l, f, m, dataflows, opts)
+			if errs[i] == nil {
+				c := results[i]
+				reporter.candidateDone(opts.Metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()), true)
+			} else if !isCancellation(errs[i]) {
+				reporter.candidateDone(0, false)
+			}
 		}(i, f)
 	}
 	wg.Wait()
@@ -386,11 +400,34 @@ func SearchNetworkCtx(ctx context.Context, n nets.Network, opts Options) (*Netwo
 	nr := &NetworkResult{Network: n.Name, Arch: opts.Arch.Name, Layers: make([]*LayerResult, len(n.Layers))}
 	errs := make([]error, len(n.Layers))
 	var wg sync.WaitGroup
+	// Network-level progress: candidate events from the per-layer
+	// searches are stamped with the layers-done counter, and each
+	// finished layer emits one LayerDone event (cache hits included —
+	// they produce no candidate events of their own).
+	emit := opts.Progress
+	var layersDone atomic.Int64
+	total := len(n.Layers)
 	for i, l := range n.Layers {
 		wg.Add(1)
 		go func(i int, l layer.Conv) {
 			defer wg.Done()
-			nr.Layers[i], errs[i] = SearchLayerCtx(ctx, l, opts)
+			lopts := opts
+			if emit != nil {
+				lopts.Progress = func(ev ProgressEvent) {
+					ev.LayersDone = int(layersDone.Load())
+					ev.LayersTotal = total
+					emit(ev)
+				}
+			}
+			nr.Layers[i], errs[i] = SearchLayerCtx(ctx, l, lopts)
+			if emit != nil && errs[i] == nil {
+				emit(ProgressEvent{
+					Layer:       l.Name,
+					LayerDone:   true,
+					LayersDone:  int(layersDone.Add(1)),
+					LayersTotal: total,
+				})
+			}
 		}(i, l)
 	}
 	wg.Wait()

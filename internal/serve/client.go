@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -43,6 +45,36 @@ func (c *Client) ScheduleNetwork(ctx context.Context, req NetworkRequest) (*Netw
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// ScheduleLayerStream schedules one layer via POST
+// /v1/schedule/layer?stream=1, invoking onProgress (which may be nil)
+// for every progress event and returning the terminal result. Server
+// errors — including those delivered mid-stream as terminal "error"
+// events — are returned as *APIError.
+func (c *Client) ScheduleLayerStream(ctx context.Context, req LayerRequest, onProgress func(StreamEvent)) (*LayerResponse, error) {
+	final, err := c.stream(ctx, "/v1/schedule/layer", req, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	if final.LayerResult == nil {
+		return nil, fmt.Errorf("serve client: stream result event without a layer payload")
+	}
+	return final.LayerResult, nil
+}
+
+// ScheduleNetworkStream schedules a whole network via POST
+// /v1/schedule/network?stream=1; see ScheduleLayerStream for the
+// streaming contract.
+func (c *Client) ScheduleNetworkStream(ctx context.Context, req NetworkRequest, onProgress func(StreamEvent)) (*NetworkResponse, error) {
+	final, err := c.stream(ctx, "/v1/schedule/network", req, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	if final.NetworkResult == nil {
+		return nil, fmt.Errorf("serve client: stream result event without a network payload")
+	}
+	return final.NetworkResult, nil
 }
 
 // Presets fetches the server inventory via GET /v1/presets.
@@ -100,22 +132,80 @@ func (c *Client) do(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
-			e.Error = resp.Status
-		}
-		apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error, State: e.State}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
-		return apiErr
+		return apiError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serve client: decode %s response: %w", req.URL.Path, err)
 	}
 	return nil
+}
+
+// stream posts one schedule request with ?stream=1 and consumes the
+// NDJSON response: progress events go to onProgress (when non-nil) and
+// the terminal event is returned. A terminal "error" event becomes an
+// *APIError carrying the status the non-streaming endpoint would have
+// used; unknown event types are skipped for forward compatibility.
+func (c *Client) stream(ctx context.Context, path string, in any, onProgress func(StreamEvent)) (StreamEvent, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return StreamEvent{}, fmt.Errorf("serve client: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path+"?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return StreamEvent{}, fmt.Errorf("serve client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return StreamEvent{}, fmt.Errorf("serve client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	// Admission failures arrive before the stream starts, as plain
+	// JSON errors with a real HTTP status.
+	if resp.StatusCode/100 != 2 {
+		return StreamEvent{}, apiError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return StreamEvent{}, fmt.Errorf("serve client: %s stream ended without a terminal event", path)
+			}
+			return StreamEvent{}, fmt.Errorf("serve client: decode %s stream: %w", path, err)
+		}
+		switch ev.Event {
+		case "progress":
+			if onProgress != nil {
+				onProgress(ev)
+			}
+		case "result":
+			return ev, nil
+		case "error":
+			return StreamEvent{}, &APIError{
+				StatusCode: ev.Status,
+				Message:    ev.Error,
+				RetryAfter: time.Duration(ev.RetryAfterSeconds) * time.Second,
+				State:      ev.State,
+			}
+		}
+	}
+}
+
+// apiError converts a non-2xx response into *APIError; the caller
+// still owns resp.Body.
+func apiError(resp *http.Response) error {
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		e.Error = resp.Status
+	}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error, State: e.State}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
 }
 
 // APIError is a non-2xx response from the server.

@@ -27,6 +27,7 @@ type metrics struct {
 	inflight  *expvar.Int // requests currently being handled
 	searching *expvar.Int // searches currently holding a worker slot
 	shed      *expvar.Int // requests rejected by admission control (429)
+	progress  *expvar.Int // progress_events_total written to NDJSON streams
 	latency   *latencyHist
 	netLat    *latencyHist
 }
@@ -45,6 +46,7 @@ func newMetrics() *metrics {
 		inflight:  new(expvar.Int),
 		searching: new(expvar.Int),
 		shed:      new(expvar.Int),
+		progress:  new(expvar.Int),
 		latency:   newLatencyHist(),
 		netLat:    newLatencyHist(),
 	}
@@ -53,6 +55,7 @@ func newMetrics() *metrics {
 	m.publish("requests_inflight", m.inflight)
 	m.publish("searches_inflight", m.searching)
 	m.publish("requests_shed_total", m.shed)
+	m.publish("progress_events_total", m.progress)
 	m.publish("search_latency_ms", m.latency)
 	m.publish("network_search_latency_ms", m.netLat)
 	return m

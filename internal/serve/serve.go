@@ -12,6 +12,7 @@
 //
 //	POST /v1/schedule/layer    schedule one layer (cached, bounded)
 //	POST /v1/schedule/network  schedule a whole network
+//	POST /v1/schedule/*?stream=1  same, streaming NDJSON progress events
 //	GET  /v1/presets           hardware presets, networks, option enums
 //	GET  /healthz              liveness probe
 //	GET  /debug/vars           metrics (expvar JSON)
@@ -126,6 +127,7 @@ func New(cfg Config) *Server {
 	}
 	s.metrics.publish("cache", expvar.Func(func() any { return s.cache.Stats() }))
 	s.metrics.publish("cache_hit_ratio", expvar.Func(func() any { return s.cache.Stats().HitRatio() }))
+	s.metrics.publish("searches_coalesced_total", expvar.Func(func() any { return s.cache.Stats().CoalescedHits }))
 	s.metrics.publish("worker_pool_size", expvar.Func(func() any { return cfg.Workers }))
 	s.metrics.publish("requests_queued", expvar.Func(func() any { return s.queued.Load() }))
 	s.metrics.publish("queue_depth_limit", expvar.Func(func() any { return cfg.MaxQueueDepth }))
@@ -267,12 +269,24 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	opts.Workers = s.cfg.SearchParallelism
 
 	start := time.Now()
-	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
-		lr, err := search.SearchLayerCtx(ctx, l, opts)
+	run := func(ctx context.Context, progress search.ProgressFunc) (any, error) {
+		o := opts
+		o.Progress = progress
+		lr, err := search.SearchLayerCtx(ctx, l, o)
 		if err != nil {
 			return nil, err
 		}
 		return buildLayerResponse(lr, cfg.Name, req.Full, msSince(start)), nil
+	}
+	if wantStream(r) {
+		s.streamSearch(w, r, req.TimeoutMS, s.metrics.latency, run, func(v any) StreamEvent {
+			lr := v.(LayerResponse)
+			return StreamEvent{Event: "result", LayerResult: &lr}
+		})
+		return
+	}
+	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return run(ctx, nil)
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -316,12 +330,24 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	opts.CacheMisses = &misses
 
 	start := time.Now()
-	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
-		nr, err := search.SearchNetworkCtx(ctx, n, opts)
+	run := func(ctx context.Context, progress search.ProgressFunc) (any, error) {
+		o := opts
+		o.Progress = progress
+		nr, err := search.SearchNetworkCtx(ctx, n, o)
 		if err != nil {
 			return nil, err
 		}
 		return buildNetworkResponse(nr, int(misses.Load()), msSince(start)), nil
+	}
+	if wantStream(r) {
+		s.streamSearch(w, r, req.TimeoutMS, s.metrics.netLat, run, func(v any) StreamEvent {
+			nr := v.(NetworkResponse)
+			return StreamEvent{Event: "result", NetworkResult: &nr}
+		})
+		return
+	}
+	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return run(ctx, nil)
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -352,11 +378,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// search runs f on the worker pool under the request's effective
-// deadline. It returns promptly when the context ends — even while f
-// is still winding down in the background, where it aborts at its next
-// cancellation check and frees the pool slot.
-func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Context) (any, error)) (any, error) {
+// effectiveTimeout resolves the search deadline for one request: the
+// client's timeout_ms clamped to the server maximum, or the server
+// default when the client named none.
+func (s *Server) effectiveTimeout(timeoutMS int64) time.Duration {
 	timeout := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		timeout = time.Duration(timeoutMS) * time.Millisecond
@@ -364,14 +389,19 @@ func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Con
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return timeout
+}
 
+// acquire runs admission control and takes one worker-pool slot,
+// returning the release func the caller must invoke when the search
+// finishes. Shed requests get an overloadedError; a context that ends
+// while queueing returns ctx.Err().
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	// Admission control: add-then-check keeps the gauge exact under
 	// concurrency, so a burst can never overshoot the queue bound.
 	if n := s.queued.Add(1); s.cfg.MaxQueueDepth >= 0 && n > int64(s.cfg.MaxQueueDepth) {
 		s.queued.Add(-1)
 		s.metrics.shed.Add(1)
-		cancel()
 		return nil, overloadedError{retryAfter: s.retryAfter()}
 	}
 	select {
@@ -379,24 +409,40 @@ func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Con
 		s.queued.Add(-1)
 	case <-ctx.Done():
 		s.queued.Add(-1)
-		cancel()
 		return nil, ctx.Err()
 	}
 	s.metrics.searching.Add(1)
+	return func() {
+		s.metrics.searching.Add(-1)
+		<-s.sem
+	}, nil
+}
 
-	type outcome struct {
-		v   any
-		err error
+// searchOutcome carries a finished search across its result channel.
+type searchOutcome struct {
+	v   any
+	err error
+}
+
+// search runs f on the worker pool under the request's effective
+// deadline. It returns promptly when the context ends — even while f
+// is still winding down in the background, where it aborts at its next
+// cancellation check and frees the pool slot.
+func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Context) (any, error)) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(timeoutMS))
+	release, err := s.acquire(ctx)
+	if err != nil {
+		cancel()
+		return nil, err
 	}
-	ch := make(chan outcome, 1)
+	ch := make(chan searchOutcome, 1)
 	go func() {
 		defer func() {
-			s.metrics.searching.Add(-1)
-			<-s.sem
+			release()
 			cancel()
 		}()
 		v, err := f(ctx)
-		ch <- outcome{v, err}
+		ch <- searchOutcome{v, err}
 	}()
 	select {
 	case o := <-ch:

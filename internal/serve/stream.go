@@ -1,0 +1,212 @@
+package serve
+
+// Streaming progress for long searches. POST /v1/schedule/layer and
+// /v1/schedule/network accept ?stream=1, switching the response to
+// NDJSON (application/x-ndjson): one JSON object per line, zero or
+// more "progress" events followed by exactly one terminal event —
+// "result" carrying the same payload as the non-streaming endpoint, or
+// "error" carrying the status the non-streaming endpoint would have
+// returned. The stream is flushed after every event, so clients
+// watching a default-budget search see candidates-evaluated and
+// per-layer completion in near real time instead of minutes of
+// silence. The wire format is documented in docs/API.md.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"time"
+
+	"github.com/flexer-sched/flexer/internal/search"
+)
+
+// StreamEvent is one NDJSON line of a ?stream=1 response. Event is
+// "progress", "result" or "error"; the remaining fields are populated
+// according to that discriminator (progress counters, exactly one of
+// LayerResult/NetworkResult, or the error fields).
+type StreamEvent struct {
+	Event string `json:"event"`
+
+	// Progress fields (Event == "progress"). Candidate counters track
+	// tilings within Layer; the layer counters track whole-network
+	// completion and are zero for single-layer streams.
+	Layer           string  `json:"layer,omitempty"`
+	CandidatesDone  int     `json:"candidates_done,omitempty"`
+	CandidatesTotal int     `json:"candidates_total,omitempty"`
+	BestScore       float64 `json:"best_score,omitempty"`
+	LayerDone       bool    `json:"layer_done,omitempty"`
+	LayersDone      int     `json:"layers_done,omitempty"`
+	LayersTotal     int     `json:"layers_total,omitempty"`
+	CacheHit        bool    `json:"cache_hit,omitempty"`
+	Coalesced       bool    `json:"coalesced,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms,omitempty"`
+
+	// Terminal payload (Event == "result"): exactly one is set,
+	// matching the endpoint.
+	LayerResult   *LayerResponse   `json:"layer_result,omitempty"`
+	NetworkResult *NetworkResponse `json:"network_result,omitempty"`
+
+	// Error fields (Event == "error"). Status is the HTTP status the
+	// non-streaming endpoint would have returned.
+	Error             string           `json:"error,omitempty"`
+	Status            int              `json:"status,omitempty"`
+	RetryAfterSeconds int              `json:"retry_after_seconds,omitempty"`
+	State             *ServerStateJSON `json:"state,omitempty"`
+}
+
+// wantStream reports whether the request opted into NDJSON progress
+// streaming via ?stream=1 (or stream=true).
+func wantStream(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// streamEventBuffer bounds the progress-event queue between the search
+// goroutines and the response writer. Events beyond it are dropped —
+// progress is advisory and must never block the search — but the
+// terminal result always goes out.
+const streamEventBuffer = 256
+
+// streamSearch runs one schedule search on the worker pool and streams
+// its progress as NDJSON. Admission failures (shed load, a deadline
+// spent queueing) are still reported as plain JSON errors with their
+// real HTTP status; once a worker slot is held the response commits to
+// 200 + NDJSON and any later failure becomes a terminal "error" event.
+func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS int64, hist *latencyHist,
+	run func(context.Context, search.ProgressFunc) (any, error), result func(any) StreamEvent) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	start := time.Now()
+	events := make(chan StreamEvent, streamEventBuffer)
+	progress := func(ev search.ProgressEvent) {
+		select {
+		case events <- streamProgress(ev, msSince(start)):
+		default: // full buffer: drop, never stall the search
+		}
+	}
+	done := make(chan searchOutcome, 1)
+	go func() {
+		defer func() {
+			release()
+			cancel()
+		}()
+		v, err := run(ctx, progress)
+		done <- searchOutcome{v, err}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) {
+		if ev.Event == "progress" {
+			s.metrics.progress.Add(1)
+		}
+		// A write error means the client went away; r.Context cancels
+		// the search, so just keep draining until it unwinds.
+		_ = enc.Encode(ev)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+
+	finish := func(o searchOutcome) {
+		// Flush progress that raced the completion so every buffered
+		// event precedes the terminal one.
+		for {
+			select {
+			case ev := <-events:
+				emit(ev)
+				continue
+			default:
+			}
+			break
+		}
+		if o.err != nil {
+			emit(s.streamError(o.err))
+			return
+		}
+		hist.Observe(time.Since(start))
+		emit(result(o.v))
+	}
+	for {
+		select {
+		case ev := <-events:
+			emit(ev)
+		case o := <-done:
+			finish(o)
+			return
+		case <-ctx.Done():
+			// The search goroutine cancels ctx on its way out, so a
+			// finished search can make both cases ready at once; prefer
+			// its outcome over a spurious cancellation error.
+			select {
+			case o := <-done:
+				finish(o)
+			default:
+				// Deadline or client cancellation while the search is
+				// still winding down; it frees its slot at the next
+				// check.
+				emit(s.streamError(ctx.Err()))
+			}
+			return
+		}
+	}
+}
+
+// streamProgress converts a search progress event to its wire form.
+func streamProgress(ev search.ProgressEvent, elapsedMS float64) StreamEvent {
+	return StreamEvent{
+		Event:           "progress",
+		Layer:           ev.Layer,
+		CandidatesDone:  ev.CandidatesDone,
+		CandidatesTotal: ev.CandidatesTotal,
+		BestScore:       ev.BestScore,
+		LayerDone:       ev.LayerDone,
+		LayersDone:      ev.LayersDone,
+		LayersTotal:     ev.LayersTotal,
+		CacheHit:        ev.CacheHit,
+		Coalesced:       ev.Coalesced,
+		ElapsedMS:       elapsedMS,
+	}
+}
+
+// streamError maps a search failure to a terminal error event, using
+// the same status taxonomy as the non-streaming fail path.
+func (s *Server) streamError(err error) StreamEvent {
+	ev := StreamEvent{Event: "error"}
+	var bad badRequestError
+	var over overloadedError
+	switch {
+	case errors.As(err, &bad):
+		ev.Status = http.StatusBadRequest
+		ev.Error = bad.Error()
+	case errors.As(err, &over):
+		ev.Status = http.StatusTooManyRequests
+		ev.Error = "server overloaded: schedule queue is full; retry after the advertised delay"
+		ev.RetryAfterSeconds = int(math.Ceil(over.retryAfter.Seconds()))
+		ev.State = s.state()
+	case errors.Is(err, context.DeadlineExceeded):
+		ev.Status = http.StatusGatewayTimeout
+		ev.Error = "search timed out; retry with a larger timeout_ms or budget=quick"
+		ev.State = s.state()
+	case errors.Is(err, context.Canceled):
+		ev.Status = 499
+		ev.Error = "request cancelled"
+	default:
+		ev.Status = http.StatusUnprocessableEntity
+		ev.Error = err.Error()
+	}
+	return ev
+}
