@@ -6,7 +6,7 @@ GO ?= go
 # Combined statement coverage required of internal/serve + internal/search.
 COVER_MIN ?= 70
 
-.PHONY: check build vet test test-short bench bench-smoke lint cover cover-check run-flexerd
+.PHONY: check build vet test test-short bench bench-smoke fuzz-smoke lint cover cover-check run-flexerd
 
 check: build vet test
 
@@ -31,6 +31,22 @@ bench:
 # of a real measurement run. CI uploads the output as an artifact.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/search/... ./internal/sim/...
+
+# Short native-fuzzing run over the packages with fuzz targets: the
+# schedule verifier (repaired schedules under random fault plans) and
+# the scratchpad allocator. Each package must hold exactly one Fuzz*
+# function for -fuzz=Fuzz to select. Skipped with a hint on toolchains
+# without native fuzzing support, so the target never hard-fails on an
+# old local Go (CI always has a current one).
+FUZZTIME ?= 20s
+
+fuzz-smoke:
+	@if $(GO) help testflag 2>/dev/null | grep -q -- '-fuzz '; then \
+		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/verify && \
+		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spm; \
+	else \
+		echo "fuzz-smoke: this Go toolchain lacks native fuzzing, skipping"; \
+	fi
 
 # Static analysis beyond go vet. staticcheck and govulncheck are
 # optional locally (CI installs them): each is skipped with a hint when

@@ -42,6 +42,8 @@ func run() error {
 	gantt := flag.Bool("gantt", false, "print a textual Gantt chart of both schedules (layer mode)")
 	workers := flag.Int("workers", 0, "search parallelism (0 = GOMAXPROCS)")
 	list := flag.Bool("list", false, "list available archs, networks and layers, then exit")
+	faultSpec := flag.String("fault", "", `fault plan for degraded-mode evaluation, e.g. "core1@5000,dma@5000x1.5"`)
+	faultSeed := flag.Int64("fault-seed", 0, "generate a random survivable fault plan from this seed (layer mode; overrides -fault)")
 	flag.Parse()
 
 	if *list {
@@ -97,13 +99,27 @@ func run() error {
 		return fmt.Errorf("unknown metric %q", *metricName)
 	}
 
+	if *faultSpec != "" {
+		plan, err := flexer.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			return err
+		}
+		if err := plan.Validate(cfg.Cores); err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		opts.FaultPlan = plan
+	}
+
 	fmt.Printf("# %s\n", cfg)
 	if *layerName != "" {
 		l, err := net.Layer(*layerName)
 		if err != nil {
 			return err
 		}
-		return runLayer(l, opts, *jsonPath, *csvPath, *gantt)
+		return runLayer(l, opts, *jsonPath, *csvPath, *gantt, *faultSeed)
+	}
+	if *faultSeed != 0 {
+		return fmt.Errorf("-fault-seed needs -layer (the horizon is one layer's makespan)")
 	}
 	return runNetwork(net, opts)
 }
@@ -126,18 +142,38 @@ func printInventory() {
 	}
 }
 
-func runLayer(l flexer.Conv, opts flexer.Options, jsonPath, csvPath string, gantt bool) error {
+func runLayer(l flexer.Conv, opts flexer.Options, jsonPath, csvPath string, gantt bool, faultSeed int64) error {
 	fmt.Printf("# %s\n", l)
 	start := time.Now()
 	lr, err := flexer.SearchLayer(l, opts)
 	if err != nil {
 		return err
 	}
+	// A seeded random fault plan needs the nominal makespan as its
+	// horizon, so it is generated after the search and repaired here
+	// rather than through Options.FaultPlan.
+	if faultSeed != 0 {
+		plan := flexer.RandomFaultPlan(faultSeed, opts.Arch.Cores, lr.BestOoO.LatencyCycles)
+		fmt.Printf("# fault plan (seed %d): %s\n", faultSeed, plan)
+		deg, err := flexer.RepairSchedule(l, lr.BestOoO, plan, opts)
+		if err != nil {
+			return err
+		}
+		lr.Degraded = deg
+		lr.FaultPlan = plan
+	}
 	fmt.Printf("# searched %d tilings in %v\n\n", len(lr.Candidates), time.Since(start).Round(time.Millisecond))
 	printSchedule("flexer (OoO)", lr.BestOoO)
 	printSchedule("best static ("+lr.BestStaticOrder.Name+")", lr.BestStatic)
+	if lr.Degraded != nil {
+		printSchedule("degraded ("+lr.FaultPlan.String()+")", lr.Degraded)
+	}
 	fmt.Printf("\nspeedup               %8.3f x\n", lr.Speedup())
 	fmt.Printf("data-transfer reduction %6.3f x\n", lr.TrafficReduction())
+	if lr.Degraded != nil {
+		fmt.Printf("degraded slowdown     %8.3f x (degraded %d vs nominal %d cycles)\n",
+			lr.DegradedRatio(), lr.Degraded.LatencyCycles, lr.BestOoO.LatencyCycles)
+	}
 
 	fmt.Println("\nspatial reuse patterns (sets per pattern):")
 	for _, name := range []string{"flexer", "static"} {
@@ -160,6 +196,11 @@ func runLayer(l flexer.Conv, opts flexer.Options, jsonPath, csvPath string, gant
 		}
 		if err := flexer.WriteGantt(os.Stdout, lr.BestStatic, 100); err != nil {
 			return err
+		}
+		if lr.Degraded != nil {
+			if err := flexer.WriteGanttFaults(os.Stdout, lr.Degraded, 100, lr.FaultPlan); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -209,17 +250,33 @@ func runNetwork(net flexer.Network, opts flexer.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %-14s %12s %12s %9s %10s\n", "layer", "tiling", "ooo-cycles", "static-cyc", "speedup", "reduction")
+	degraded := len(nr.Layers) > 0 && nr.Layers[0].Degraded != nil
+	if degraded {
+		fmt.Printf("%-16s %-14s %12s %12s %12s %9s %10s\n", "layer", "tiling", "ooo-cycles", "static-cyc", "degraded", "speedup", "reduction")
+	} else {
+		fmt.Printf("%-16s %-14s %12s %12s %9s %10s\n", "layer", "tiling", "ooo-cycles", "static-cyc", "speedup", "reduction")
+	}
 	for _, lr := range nr.Layers {
-		fmt.Printf("%-16s %-14s %12d %12d %9.3f %10.3f\n",
-			lr.Layer.Name, lr.BestOoO.Factors,
-			lr.BestOoO.LatencyCycles, lr.BestStatic.LatencyCycles,
-			lr.Speedup(), lr.TrafficReduction())
+		if degraded {
+			fmt.Printf("%-16s %-14s %12d %12d %12d %9.3f %10.3f\n",
+				lr.Layer.Name, lr.BestOoO.Factors,
+				lr.BestOoO.LatencyCycles, lr.BestStatic.LatencyCycles,
+				lr.Degraded.LatencyCycles, lr.Speedup(), lr.TrafficReduction())
+		} else {
+			fmt.Printf("%-16s %-14s %12d %12d %9.3f %10.3f\n",
+				lr.Layer.Name, lr.BestOoO.Factors,
+				lr.BestOoO.LatencyCycles, lr.BestStatic.LatencyCycles,
+				lr.Speedup(), lr.TrafficReduction())
+		}
 	}
 	oooLat, staticLat, oooT, staticT := nr.Totals()
 	fmt.Printf("\nend-to-end: ooo %d cycles / %s vs static %d cycles / %s\n",
 		oooLat, stats.FormatBytes(oooT), staticLat, stats.FormatBytes(staticT))
 	fmt.Printf("speedup %.3fx, data-transfer reduction %.3fx (searched in %v)\n",
 		nr.Speedup(), nr.TrafficReduction(), time.Since(start).Round(time.Millisecond))
+	if degraded {
+		fmt.Printf("degraded: %d cycles end to end, %.3fx over nominal\n",
+			nr.DegradedCycles(), nr.DegradedRatio())
+	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/loop"
 	"github.com/flexer-sched/flexer/internal/model"
@@ -71,6 +72,9 @@ type (
 	Priority = sched.Priority
 	// MemPolicy selects the scratchpad spill policy.
 	MemPolicy = spm.Policy
+	// FaultPlan describes machine degradation (core deaths, flaky
+	// windows, DMA derates) for degraded-mode evaluation.
+	FaultPlan = fault.Plan
 )
 
 // Priority functions (Table 2).
@@ -243,4 +247,32 @@ func WriteCSV(w io.Writer, s *Schedule) error { return trace.WriteCSV(w, s) }
 // NPU core plus the DMA channel, bucketed to the given width.
 func WriteGantt(w io.Writer, s *Schedule, width int) error {
 	return trace.WriteGantt(w, s, width)
+}
+
+// WriteGanttFaults is WriteGantt with the fault plan's disturbances
+// overlaid ('X' after a core's death, '~' over idle degraded windows).
+func WriteGanttFaults(w io.Writer, s *Schedule, width int, plan *FaultPlan) error {
+	return trace.WriteGanttFaults(w, s, width, plan)
+}
+
+// ParseFaultPlan parses a compact fault-plan spec: comma-separated
+// "core<i>@<cycle>" (core i dies at cycle), "flaky<i>@<from>-<to>x<s>"
+// (core i is s-times slower in [from,to)) and "dma@<from>[-<to>]x<f>"
+// (DMA transfers starting in the window take f-times longer; omitted
+// <to> means forever). Example: "core1@5000,dma@5000x1.5".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// RandomFaultPlan generates a deterministic pseudo-random survivable
+// fault plan for a machine with the given core count, with fault cycles
+// inside [0, horizon).
+func RandomFaultPlan(seed int64, cores int, horizon int64) *FaultPlan {
+	return fault.Random(seed, cores, horizon)
+}
+
+// RepairSchedule re-plans an existing schedule around a fault plan:
+// work started before the first disruption is kept, everything else is
+// rescheduled on the surviving resources from the fault cycle. See
+// sched.Repair for the fault model.
+func RepairSchedule(l Conv, s *Schedule, plan *FaultPlan, opts Options) (*Schedule, error) {
+	return search.RepairResult(l, s, plan, opts)
 }

@@ -1,0 +1,254 @@
+package sched
+
+// Schedule repair: given a fault plan and an already-built schedule,
+// keep the prefix that started before the first disruption and re-plan
+// everything else on whatever the plan leaves alive. This is the
+// runtime answer to "core 2 just died mid-layer": the committed work
+// (including ops draining on the dying core) stands, live partial sums
+// stay in the scratchpad, and the list scheduler resumes from the fault
+// cycle with the reduced machine.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
+	"github.com/flexer-sched/flexer/internal/sim"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Repair re-plans nominal around plan and returns the degraded
+// schedule. Work that started before the plan's first disruption is
+// committed verbatim (an op already running when its core dies drains
+// to completion — fail-stop with drain); every other op is rescheduled
+// by the out-of-order list scheduler starting at the fault cycle, on a
+// timeline whose resources are charged with the committed prefix and
+// which has the fault plan injected.
+//
+// Scratchpad state is reconstructed from the committed records: dirty
+// tiles (partial sums and unflushed outputs, which have no off-chip
+// copy) are provably resident — every eviction of a dirty block leaves
+// a Spill or Writeback record — and are re-admitted so chains resume
+// without replaying compute. Clean tiles are dropped and re-loaded on
+// demand: the scheduler's clean evictions and in-place overwrites are
+// traceless, so a clean tile's residency at the fault cycle cannot be
+// proven from the schedule alone and reusing it could read overwritten
+// data on a real machine.
+//
+// An empty plan returns nominal unchanged. cfg should be the config
+// nominal was built with; Order and Hint are ignored (repair is always
+// out-of-order — the nominal op sequence is unachievable on the
+// degraded machine, which is the point).
+func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Empty() {
+		return nominal, nil
+	}
+	if err := plan.Validate(cfg.Arch.Cores); err != nil {
+		return nil, err
+	}
+	fc := plan.FirstDisruption()
+
+	// Partition the nominal schedule at the fault cycle: records that
+	// started before it ran at nominal timing on a healthy machine and
+	// are kept; the rest is discarded and re-planned.
+	committed := make([]bool, len(gr.Ops))
+	var commitOps []sim.OpRecord
+	var commitMems []sim.MemRecord
+	npuFree := make([]int64, cfg.Arch.Cores)
+	for i := range npuFree {
+		npuFree[i] = fc
+	}
+	dmaFree := fc
+	opDone := make([]int64, len(gr.Ops))
+	writeAt := make(map[tile.ID]int64)
+	remain := gr.Uses()
+	nDone := 0
+	for _, rec := range nominal.OpRecords {
+		if rec.Start >= fc {
+			continue
+		}
+		commitOps = append(commitOps, rec)
+		committed[rec.Op] = true
+		nDone++
+		opDone[rec.Op] = rec.End
+		op := &gr.Ops[rec.Op]
+		if rec.End > writeAt[op.Out] {
+			writeAt[op.Out] = rec.End
+		}
+		remain[op.In]--
+		remain[op.Wt]--
+		remain[op.Out]--
+		if rec.NPU >= 0 && rec.NPU < len(npuFree) && rec.End > npuFree[rec.NPU] {
+			npuFree[rec.NPU] = rec.End
+		}
+	}
+	for _, rec := range nominal.MemRecords {
+		if rec.Start >= fc {
+			continue
+		}
+		commitMems = append(commitMems, rec)
+		if rec.End > dmaFree {
+			dmaFree = rec.End
+		}
+	}
+
+	// Reconstruct which tiles are dirty-resident at the fault cycle by
+	// replaying the committed residency events in time order. Per tile
+	// the event starts are strictly ordered by construction (a load
+	// finishes before its consumer starts; a spill starts no earlier
+	// than the write it flushes), so the last event decides.
+	type tileEvent struct {
+		id     tile.ID
+		start  int64
+		effect int8 // 0 load (clean), 1 evict, 2 op write (dirty)
+	}
+	var events []tileEvent
+	for _, m := range commitMems {
+		var effect int8 = 1
+		if m.Kind == sim.Load {
+			effect = 0
+		}
+		events = append(events, tileEvent{m.Tile, m.Start, effect})
+	}
+	for _, o := range commitOps {
+		events = append(events, tileEvent{gr.Ops[o.Op].Out, o.Start, 2})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].start < events[j].start })
+	dirtyAt := make(map[tile.ID]int64) // dirty-resident tile -> last write start
+	for _, ev := range events {
+		if ev.effect == 2 {
+			dirtyAt[ev.id] = ev.start
+		} else {
+			delete(dirtyAt, ev.id)
+		}
+	}
+
+	// Rebuild the scratchpad with exactly the dirty survivors. They are
+	// guaranteed to fit: all were simultaneously resident in the
+	// nominal schedule and the rebuilt scratchpad is unfragmented.
+	// Everything stays pinned while placing so no pick evicts another.
+	dirtyTiles := make([]tile.ID, 0, len(dirtyAt))
+	for id := range dirtyAt {
+		dirtyTiles = append(dirtyTiles, id)
+	}
+	sort.Slice(dirtyTiles, func(i, j int) bool {
+		a, b := dirtyTiles[i], dirtyTiles[j]
+		if dirtyAt[a] != dirtyAt[b] {
+			return dirtyAt[a] > dirtyAt[b]
+		}
+		return lessID(a, b)
+	})
+	mem := spm.New(cfg.Arch.SPMBytes, cfg.MemPolicy)
+	mem.SetInPlace(!cfg.DisableInPlace)
+	remainFn := func(id tile.ID) int { return remain[id] }
+	for _, id := range dirtyTiles {
+		if _, err := mem.Allocate(id, gr.Grid.Size(id), remainFn); err != nil {
+			return nil, fmt.Errorf("sched: repair cannot retain live tile %s: %w", id, err)
+		}
+		mem.SetDirty(id, true)
+	}
+	mem.UnpinAll()
+
+	// Resume the list scheduler on the leftover ops with the committed
+	// prefix charged to the timeline and the fault plan injected.
+	var ready []int
+	for i := range gr.Ops {
+		if committed[i] {
+			continue
+		}
+		if p := gr.Pred(i); p >= 0 && !committed[p] {
+			continue
+		}
+		ready = append(ready, i)
+	}
+	cfg.Order, cfg.Hint = nil, nil
+	e := &engine{
+		cfg:     cfg,
+		gr:      gr,
+		mem:     mem,
+		remain:  remain,
+		ready:   ready,
+		opDone:  opDone,
+		writeAt: writeAt,
+		availAt: make(map[tile.ID]int64),
+		tl:      sim.NewAt(npuFree, dmaFree),
+		res:     &Result{Factors: nominal.Factors},
+		nDone:   nDone,
+	}
+	e.tl.SetFaults(plan)
+	for k := range e.res.PerKind {
+		e.res.PerKind[k].MoveCounts = make(map[tile.ID]int)
+	}
+	e.rank = make([]int, len(gr.Ops))
+	for i := range e.rank {
+		e.rank[i] = i
+	}
+	for _, m := range commitMems {
+		e.account(m)
+	}
+	total := len(gr.Ops)
+	for e.nDone < total {
+		e.mem.UnpinAll()
+		ev := e.nextSetOoO()
+		if ev == nil {
+			return nil, errNoProgress
+		}
+		if err := e.apply(ev); err != nil {
+			return nil, err
+		}
+	}
+	e.flush()
+
+	// Merge the committed prefix with the re-planned suffix. Both record
+	// slices stay start-ordered: every new record starts at or after the
+	// seeded resource-free cycles, which cover all committed ends.
+	var sets []SetRecord
+	for _, s := range nominal.Sets {
+		var kept []int
+		for _, op := range s.Ops {
+			if committed[op] {
+				kept = append(kept, op)
+			}
+		}
+		if len(kept) > 0 {
+			sets = append(sets, SetRecord{Ops: kept, Shared: s.Shared})
+		}
+	}
+	e.res.Sets = append(sets, e.res.Sets...)
+	e.res.OpRecords = append(commitOps, e.tl.Ops()...)
+	e.res.MemRecords = append(commitMems, e.tl.Mems()...)
+	// The makespan is when the merged work actually finishes — not
+	// tl.Makespan(), whose resource seeds sit at the fault cycle even
+	// when the plan disrupts nothing (fault past the nominal makespan).
+	var makespan int64
+	for _, rec := range e.res.OpRecords {
+		makespan = max(makespan, rec.End)
+	}
+	for _, rec := range e.res.MemRecords {
+		makespan = max(makespan, rec.End)
+	}
+	e.res.LatencyCycles = makespan
+	e.res.SetsEvaluated = e.nEval
+	e.res.SetsPruned = e.nPruned
+	return e.res, nil
+}
+
+// lessID orders tile IDs for deterministic iteration.
+func lessID(a, b tile.ID) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.C < b.C
+}

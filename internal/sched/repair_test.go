@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/fault"
+)
+
+// TestRepairKillOneOfFourMidMakespan is the acceptance scenario: one of
+// four cores dies halfway through the nominal makespan. The repaired
+// schedule must keep the committed prefix verbatim, put nothing on the
+// dead core after its death, be no faster than the nominal schedule,
+// and be no slower than throwing the prefix away and rescheduling
+// everything on the three survivors starting at the fault cycle.
+func TestRepairKillOneOfFourMidMakespan(t *testing.T) {
+	a := testArch(4)
+	gr := pressureGraph(t, a)
+	cfg := Config{Arch: a}
+	nominal, err := Schedule(gr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := nominal.LatencyCycles / 2
+	plan := &fault.Plan{CoreDown: []fault.CoreDown{{Core: 1, Cycle: fc}}}
+
+	repaired, err := Repair(gr, nominal, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, repaired, a.Cores)
+
+	for _, rec := range repaired.OpRecords {
+		if rec.NPU == 1 && rec.Start >= fc {
+			t.Fatalf("op %d starts at %d on core 1, dead since %d", rec.Op, rec.Start, fc)
+		}
+	}
+
+	// The committed prefix survives verbatim, in order.
+	var nCommitted int
+	for _, rec := range nominal.OpRecords {
+		if rec.Start < fc {
+			if repaired.OpRecords[nCommitted] != rec {
+				t.Fatalf("committed op record %d changed: %+v vs %+v", nCommitted, repaired.OpRecords[nCommitted], rec)
+			}
+			nCommitted++
+		}
+	}
+	if nCommitted == 0 || nCommitted == len(gr.Ops) {
+		t.Fatalf("fault cycle %d not mid-makespan: %d of %d ops committed", fc, nCommitted, len(gr.Ops))
+	}
+
+	if repaired.LatencyCycles < nominal.LatencyCycles {
+		t.Errorf("degraded makespan %d < nominal %d", repaired.LatencyCycles, nominal.LatencyCycles)
+	}
+
+	// Repair never worse than restart: rescheduling from scratch on the
+	// survivors (core 1 dead from cycle 0) shifted to the fault cycle.
+	restart, err := Schedule(gr, Config{Arch: a, FaultPlan: &fault.Plan{
+		CoreDown: []fault.CoreDown{{Core: 1, Cycle: 0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.LatencyCycles > restart.LatencyCycles+fc {
+		t.Errorf("repair (%d cycles) worse than restart-on-survivors + fault cycle (%d + %d)",
+			repaired.LatencyCycles, restart.LatencyCycles, fc)
+	}
+
+	// Deterministic: repairing again reproduces the schedule exactly.
+	again, err := Repair(gr, nominal, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.LatencyCycles != repaired.LatencyCycles || len(again.OpRecords) != len(repaired.OpRecords) {
+		t.Fatal("repair is not deterministic")
+	}
+	for i := range again.OpRecords {
+		if again.OpRecords[i] != repaired.OpRecords[i] {
+			t.Fatalf("repair not deterministic at op record %d", i)
+		}
+	}
+}
+
+func TestRepairEmptyPlanReturnsNominal(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	nominal, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []*fault.Plan{nil, {}} {
+		got, err := Repair(gr, nominal, plan, Config{Arch: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nominal {
+			t.Error("empty plan should return the nominal schedule unchanged")
+		}
+	}
+}
+
+func TestRepairFaultBeyondMakespan(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	nominal, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &fault.Plan{CoreDown: []fault.CoreDown{{Core: 0, Cycle: nominal.LatencyCycles + 1}}}
+	repaired, err := Repair(gr, nominal, plan, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.LatencyCycles != nominal.LatencyCycles {
+		t.Errorf("fault after completion changed makespan: %d vs %d", repaired.LatencyCycles, nominal.LatencyCycles)
+	}
+	if len(repaired.OpRecords) != len(nominal.OpRecords) {
+		t.Errorf("fault after completion changed op records: %d vs %d", len(repaired.OpRecords), len(nominal.OpRecords))
+	}
+}
+
+func TestRepairFlakyAndDerate(t *testing.T) {
+	a := testArch(2)
+	gr := pressureGraph(t, a)
+	cfg := Config{Arch: a}
+	nominal, err := Schedule(gr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := nominal.LatencyCycles / 3
+	plan := &fault.Plan{
+		Flaky: []fault.Flaky{{Core: 0, From: fc, To: nominal.LatencyCycles, Slowdown: 4}},
+		DMA:   []fault.Derate{{From: fc, Factor: 2}},
+	}
+	repaired, err := Repair(gr, nominal, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, repaired, a.Cores)
+	if repaired.LatencyCycles <= nominal.LatencyCycles {
+		t.Errorf("slowing half the machine did not extend the makespan: %d vs %d",
+			repaired.LatencyCycles, nominal.LatencyCycles)
+	}
+}
+
+func TestScheduleRejectsInvalidFaultPlan(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	allDead := &fault.Plan{CoreDown: []fault.CoreDown{{Core: 0, Cycle: 0}, {Core: 1, Cycle: 0}}}
+	if _, err := Schedule(gr, Config{Arch: a, FaultPlan: allDead}); err == nil {
+		t.Error("Schedule accepted a plan killing every core")
+	}
+	nominal, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repair(gr, nominal, allDead, Config{Arch: a}); err == nil {
+		t.Error("Repair accepted a plan killing every core")
+	}
+	outOfRange := &fault.Plan{CoreDown: []fault.CoreDown{{Core: 7, Cycle: 5}}}
+	if _, err := Repair(gr, nominal, outOfRange, Config{Arch: a}); err == nil {
+		t.Error("Repair accepted an out-of-range core")
+	}
+}
+
+// TestScheduleWithDeadCore checks from-scratch degraded scheduling: a
+// core dead from cycle zero takes no ops at all, and the single-core
+// schedule is valid.
+func TestScheduleWithDeadCore(t *testing.T) {
+	a := testArch(2)
+	gr := smallGraph(t, a)
+	r, err := Schedule(gr, Config{Arch: a, FaultPlan: &fault.Plan{
+		CoreDown: []fault.CoreDown{{Core: 0, Cycle: 0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSchedule(t, gr, r, a.Cores)
+	for _, rec := range r.OpRecords {
+		if rec.NPU == 0 {
+			t.Fatalf("op %d scheduled on dead core 0", rec.Op)
+		}
+	}
+	healthy, err := Schedule(gr, Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyCycles < healthy.LatencyCycles {
+		t.Errorf("one-core schedule (%d) faster than two-core (%d)", r.LatencyCycles, healthy.LatencyCycles)
+	}
+}
+
+// TestRepairKeepsPartialSums checks the repaired schedule resumes psum
+// chains without recomputing: committed ops are never rescheduled and
+// every chain still completes.
+func TestRepairKeepsPartialSums(t *testing.T) {
+	a := testArch(4)
+	gr := pressureGraph(t, a)
+	cfg := Config{Arch: a}
+	nominal, err := Schedule(gr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := nominal.LatencyCycles / 2
+	plan := &fault.Plan{CoreDown: []fault.CoreDown{{Core: 0, Cycle: fc}}}
+	repaired, err := Repair(gr, nominal, plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduledAt := make(map[int]int, len(repaired.OpRecords))
+	for _, rec := range repaired.OpRecords {
+		scheduledAt[rec.Op]++
+	}
+	for op, n := range scheduledAt {
+		if n != 1 {
+			t.Fatalf("op %d scheduled %d times", op, n)
+		}
+	}
+	// The repaired schedule must not have grown more load traffic than
+	// a full restart would: kept partial sums bound the damage.
+	restart, err := Schedule(gr, Config{Arch: a, FaultPlan: &fault.Plan{
+		CoreDown: []fault.CoreDown{{Core: 0, Cycle: 0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired.TrafficBytes() > nominal.TrafficBytes()+restart.TrafficBytes() {
+		t.Errorf("repair traffic %d exceeds nominal %d + restart %d",
+			repaired.TrafficBytes(), nominal.TrafficBytes(), restart.TrafficBytes())
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/model"
 	"github.com/flexer-sched/flexer/internal/sim"
 	"github.com/flexer-sched/flexer/internal/spm"
@@ -91,6 +92,12 @@ type Config struct {
 	// Algorithm 1's GetSchedule(tiling, dataflow) which generates one
 	// OoO schedule per dataflow. Ignored in in-order mode.
 	Hint []int
+	// FaultPlan, when non-nil and non-empty, injects machine faults
+	// into the timeline: ops are steered away from dead cores, flaky
+	// cores run slower inside their windows, and DMA transfers starting
+	// inside a derate window take proportionally longer. The plan must
+	// leave at least one core alive (Validate enforces this).
+	FaultPlan *fault.Plan
 }
 
 // Defaults for Config fields left zero.
@@ -174,6 +181,7 @@ type engine struct {
 	ready   []int
 	opDone  []int64
 	writeAt map[tile.ID]int64 // completion time of the last write to a tile
+	availAt map[tile.ID]int64 // arrival time of the last load of a tile
 	tl      *sim.Timeline
 	res     *Result
 	pos     int   // next index into cfg.Order (in-order mode)
@@ -187,6 +195,10 @@ type engine struct {
 
 var errNoProgress = errors.New("sched: no feasible operation set (tiling too large for SPM?)")
 
+// errAllCoresDead is defensive: Config.FaultPlan validation guarantees
+// a survivor, so BestNPU cannot run out of cores on a validated plan.
+var errAllCoresDead = errors.New("sched: every core is dead before the remaining ops could start")
+
 // Schedule generates a schedule for the DFG under cfg and returns its
 // cost breakdown.
 func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
@@ -196,6 +208,11 @@ func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
 	}
 	if cfg.Order != nil {
 		if err := validateOrder(gr, cfg.Order); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.FaultPlan.Empty() {
+		if err := cfg.FaultPlan.Validate(cfg.Arch.Cores); err != nil {
 			return nil, err
 		}
 	}
@@ -209,9 +226,11 @@ func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
 		ready:   gr.InitialReady(),
 		opDone:  make([]int64, len(gr.Ops)),
 		writeAt: make(map[tile.ID]int64),
+		availAt: make(map[tile.ID]int64),
 		tl:      sim.New(cfg.Arch.Cores),
 		res:     &Result{Factors: gr.Grid.F},
 	}
+	e.tl.SetFaults(cfg.FaultPlan)
 	for k := range e.res.PerKind {
 		e.res.PerKind[k].MoveCounts = make(map[tile.ID]int)
 	}
@@ -240,7 +259,9 @@ func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
 		if ev == nil {
 			return nil, errNoProgress
 		}
-		e.apply(ev)
+		if err := e.apply(ev); err != nil {
+			return nil, err
+		}
 	}
 	e.flush()
 	e.res.LatencyCycles = e.tl.Makespan()
@@ -276,8 +297,9 @@ func (e *engine) remainUses(id tile.ID) int { return e.remain[id] }
 
 // apply commits the chosen set: adopts the evaluated scratchpad state,
 // schedules the memory operations and compute ops on the timeline,
-// updates bookkeeping, and wakes up successors.
-func (e *engine) apply(ev *setEval) {
+// updates bookkeeping, and wakes up successors. It fails only when a
+// fault plan has killed every core an op could run on.
+func (e *engine) apply(ev *setEval) error {
 	e.mem = ev.mem
 
 	// Memory operations on the shared DMA channel. Loads are issued
@@ -292,6 +314,7 @@ func (e *engine) apply(ev *setEval) {
 		lat := e.cfg.Model.TransferCycles(ld.size)
 		rec := e.tl.Transfer(ld.id, sim.Load, ld.size, lat, 0)
 		e.account(rec)
+		e.availAt[ld.id] = rec.End
 		if rec.End > memEnd {
 			memEnd = rec.End
 		}
@@ -319,7 +342,24 @@ func (e *engine) apply(ev *setEval) {
 		if p := e.gr.Pred(opIdx); p >= 0 && e.opDone[p] > earliest {
 			earliest = e.opDone[p]
 		}
-		rec := e.tl.Issue(opIdx, e.tl.LeastBusyNPU(), earliest, op.Cycles)
+		// An operand reused from an earlier set may still be in flight
+		// on the DMA channel: compute cannot start before it arrives.
+		if at := e.availAt[op.In]; at > earliest {
+			earliest = at
+		}
+		if at := e.availAt[op.Wt]; at > earliest {
+			earliest = at
+		}
+		if op.ReadsPsum {
+			if at := e.availAt[op.Out]; at > earliest {
+				earliest = at
+			}
+		}
+		npu := e.tl.BestNPU(earliest, op.Cycles)
+		if npu < 0 {
+			return errAllCoresDead
+		}
+		rec := e.tl.Issue(opIdx, npu, earliest, op.Cycles)
 		e.opDone[opIdx] = rec.End
 		e.writeAt[op.Out] = rec.End
 		e.mem.SetDirty(op.Out, true)
@@ -357,6 +397,7 @@ func (e *engine) apply(ev *setEval) {
 	}
 	e.ready = kept
 	e.mem.UnpinAll()
+	return nil
 }
 
 // account records one DMA transfer in the per-kind statistics.

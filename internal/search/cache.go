@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/loop"
 )
@@ -272,12 +273,23 @@ func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""
 	b := opts.Budget
-	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v|%d:%d:%d:%d:%d",
+	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v|%d:%d:%d:%d:%d|%s",
 		shape,
 		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
 		opts.Metric, opts.Priority, opts.MemPolicy, dataflowsKey(b.Dataflows),
 		opts.DisableInPlace, opts.DisablePruning, b.HintedOoO,
-		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets)
+		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets,
+		faultKey(opts.FaultPlan))
+}
+
+// faultKey fingerprints the fault plan for the cache key: results with
+// and without degraded-mode evaluation — or under different plans —
+// must not share an entry. Empty and nil plans collapse to "".
+func faultKey(p *fault.Plan) string {
+	if p.Empty() {
+		return ""
+	}
+	return p.String()
 }
 
 // dataflowsKey fingerprints the baseline dataflow set by the name and

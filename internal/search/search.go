@@ -22,6 +22,7 @@ import (
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/loop"
 	"github.com/flexer-sched/flexer/internal/model"
@@ -107,6 +108,12 @@ type Options struct {
 	// fresh counter per request for per-request accounting; the Cache's
 	// own Stats counters are process-global and unsuitable for that.
 	CacheMisses *atomic.Int64
+	// FaultPlan, when non-nil and non-empty, additionally evaluates the
+	// degraded mode of each layer's best OoO schedule: the schedule is
+	// repaired around the plan (sched.Repair) and the result is attached
+	// as LayerResult.Degraded, so callers see both the nominal and the
+	// degraded makespan. The plan participates in the cache key.
+	FaultPlan *fault.Plan
 	// Progress, when non-nil, receives ProgressEvent updates while the
 	// search runs: candidates evaluated and the best score so far per
 	// layer, per-layer completion during a network search, and
@@ -146,6 +153,12 @@ type LayerResult struct {
 	BestOoO         *sched.Result
 	BestStatic      *sched.Result
 	BestStaticOrder loop.Dataflow
+	// Degraded is BestOoO repaired around FaultPlan (set only when the
+	// search ran with Options.FaultPlan): the same tiling rescheduled
+	// mid-makespan on whatever the plan leaves alive.
+	Degraded *sched.Result
+	// FaultPlan echoes the plan Degraded was evaluated under.
+	FaultPlan *fault.Plan
 }
 
 // Speedup returns baseline latency / OoO latency (>1 means OoO wins).
@@ -156,6 +169,16 @@ func (lr *LayerResult) Speedup() float64 {
 // TrafficReduction returns baseline traffic / OoO traffic.
 func (lr *LayerResult) TrafficReduction() float64 {
 	return float64(lr.BestStatic.TrafficBytes()) / float64(lr.BestOoO.TrafficBytes())
+}
+
+// DegradedRatio returns degraded makespan / nominal makespan (the
+// graceful-degradation factor; 1 means the faults cost nothing), or 0
+// when the search ran without a fault plan.
+func (lr *LayerResult) DegradedRatio() float64 {
+	if lr.Degraded == nil || lr.BestOoO == nil || lr.BestOoO.LatencyCycles == 0 {
+		return 0
+	}
+	return float64(lr.Degraded.LatencyCycles) / float64(lr.BestOoO.LatencyCycles)
 }
 
 // SearchLayer runs the full per-layer search of Algorithm 1 (lines
@@ -258,7 +281,43 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 	if lr.BestOoO == nil || lr.BestStatic == nil {
 		return nil, fmt.Errorf("search: no schedulable tiling for layer %s on %s", l.Name, opts.Arch.Name)
 	}
+	if !opts.FaultPlan.Empty() {
+		deg, err := RepairResult(l, lr.BestOoO, opts.FaultPlan, opts)
+		if err != nil {
+			return nil, fmt.Errorf("search: degraded evaluation of layer %s: %w", l.Name, err)
+		}
+		lr.Degraded = deg
+		lr.FaultPlan = opts.FaultPlan
+	}
 	return lr, nil
+}
+
+// RepairResult repairs a schedule previously produced for layer l
+// around plan, using the scheduler configuration implied by opts. It is
+// the degraded-mode evaluation used by SearchLayer when
+// Options.FaultPlan is set, exposed for callers that already hold a
+// schedule (the CLI's seeded fault mode repairs after the search).
+func RepairResult(l layer.Conv, r *sched.Result, plan *fault.Plan, opts Options) (*sched.Result, error) {
+	if plan != nil {
+		if err := plan.Validate(opts.Arch.Cores); err != nil {
+			return nil, err
+		}
+	}
+	grid, err := tile.NewGrid(l, r.Factors)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(opts.Arch)
+	return sched.Repair(dfg.Build(grid, m), r, plan, sched.Config{
+		Arch:             opts.Arch,
+		Model:            m,
+		Priority:         opts.Priority,
+		MemPolicy:        opts.MemPolicy,
+		DisableInPlace:   opts.DisableInPlace,
+		DisablePruning:   opts.DisablePruning,
+		MaxReadyWindow:   opts.Budget.MaxReadyWindow,
+		MaxCandidateSets: opts.Budget.MaxCandidateSets,
+	})
 }
 
 // enumerateWithEscalation relaxes the op-count cap until at least one
@@ -374,6 +433,30 @@ func (nr *NetworkResult) Speedup() float64 {
 func (nr *NetworkResult) TrafficReduction() float64 {
 	_, _, oooT, staticT := nr.Totals()
 	return float64(staticT) / float64(oooT)
+}
+
+// DegradedCycles sums the degraded makespans across layers, or 0 when
+// the search ran without a fault plan.
+func (nr *NetworkResult) DegradedCycles() int64 {
+	var total int64
+	for _, lr := range nr.Layers {
+		if lr.Degraded == nil {
+			return 0
+		}
+		total += lr.Degraded.LatencyCycles
+	}
+	return total
+}
+
+// DegradedRatio returns the end-to-end degraded/nominal latency ratio,
+// or 0 without a fault plan.
+func (nr *NetworkResult) DegradedRatio() float64 {
+	deg := nr.DegradedCycles()
+	oooLat, _, _, _ := nr.Totals()
+	if deg == 0 || oooLat == 0 {
+		return 0
+	}
+	return float64(deg) / float64(oooLat)
 }
 
 // SearchNetwork searches every layer of the network. Layers run

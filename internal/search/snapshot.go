@@ -26,7 +26,7 @@ const snapshotMagic = "flexer-cache-snapshot"
 // snapshotVersion is bumped whenever cacheKey's format or LayerResult's
 // wire shape changes incompatibly; LoadFrom rejects other versions so a
 // stale snapshot degrades to a cold start instead of corrupt hits.
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // snapshotHeader opens every snapshot stream.
 type snapshotHeader struct {

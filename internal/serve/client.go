@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,11 +23,115 @@ type Client struct {
 	// HTTPClient issues the requests (nil = http.DefaultClient). Give
 	// it a Timeout slightly above the request timeout_ms you use.
 	HTTPClient *http.Client
+	// Retry, when non-nil, retries temporary server failures (429 shed
+	// load, 504 deadline) with exponential backoff; nil disables
+	// retries, preserving the one-shot behavior. See RetryPolicy.
+	Retry *RetryPolicy
 }
 
 // NewClient returns a client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// RetryPolicy tunes the client's automatic retry of temporary failures
+// (*APIError with Temporary() true; transport errors and 4xx/422
+// verdicts are never retried). The zero value retries up to 4 attempts
+// with 100ms base delay doubling to a 10s cap and 20% jitter. When a
+// 429 carries a Retry-After hint, the hint is a floor under the
+// computed backoff — the server's estimate of when a slot frees is
+// better than blind exponential growth. Streaming requests are retried
+// only when the failing attempt had delivered no events, so progress
+// callbacks never observe a restart mid-stream.
+type RetryPolicy struct {
+	// MaxAttempts caps the total number of attempts, including the
+	// first (0 = 4; 1 = no retries).
+	MaxAttempts int
+	// BaseDelay is the first retry's backoff (0 = 100ms); attempt n
+	// waits BaseDelay << n, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = 10s).
+	MaxDelay time.Duration
+	// Jitter is the random fraction added to each delay, in [0, 1]
+	// (0 = 20%; negative = none). Jitter decorrelates clients that were
+	// shed together so they do not stampede back together.
+	Jitter float64
+}
+
+// attempts returns the effective attempt cap.
+func (p *RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+// delay computes the wait before retry number attempt (0-based), with
+// floor — the server's Retry-After hint — taking precedence over a
+// smaller backoff.
+func (p *RetryPolicy) delay(attempt int, floor time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 10 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if floor > d {
+		d = floor
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 {
+		d += time.Duration(rand.Float64() * jitter * float64(d))
+	}
+	return d
+}
+
+// withRetry runs f under the client's retry policy. f reports whether
+// its failure may be retried at all (streaming attempts that already
+// delivered events may not); on top of that only temporary API errors
+// are retried, with a context-aware sleep between attempts.
+func (c *Client) withRetry(ctx context.Context, f func() (error, bool)) error {
+	p := c.Retry
+	if p == nil {
+		err, _ := f()
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.attempts(); attempt++ {
+		if attempt > 0 {
+			var floor time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				floor = apiErr.RetryAfter
+			}
+			timer := time.NewTimer(p.delay(attempt-1, floor))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+		err, retryable := f()
+		lastErr = err
+		var apiErr *APIError
+		if err == nil || !retryable || !errors.As(err, &apiErr) || !apiErr.Temporary() {
+			return err
+		}
+	}
+	return lastErr
 }
 
 // ScheduleLayer schedules one layer via POST /v1/schedule/layer.
@@ -101,27 +207,34 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// post sends one JSON request and decodes the JSON response into out.
+// post sends one JSON request and decodes the JSON response into out,
+// retrying temporary failures per the client's policy. The body is
+// marshalled once; each attempt replays it from the start.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("serve client: encode %s request: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("serve client: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.withRetry(ctx, func() (error, bool) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("serve client: %w", err), false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return c.do(req, out), true
+	})
 }
 
-// get issues one GET and decodes the JSON response into out.
+// get issues one GET and decodes the JSON response into out, retrying
+// temporary failures per the client's policy.
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return fmt.Errorf("serve client: %w", err)
-	}
-	return c.do(req, out)
+	return c.withRetry(ctx, func() (error, bool) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return fmt.Errorf("serve client: %w", err), false
+		}
+		return c.do(req, out), true
+	})
 }
 
 // do runs the request, turning non-2xx responses into *APIError.
@@ -150,44 +263,65 @@ func (c *Client) stream(ctx context.Context, path string, in any, onProgress fun
 	if err != nil {
 		return StreamEvent{}, fmt.Errorf("serve client: encode %s request: %w", path, err)
 	}
+	var final StreamEvent
+	err = c.withRetry(ctx, func() (error, bool) {
+		ev, seen, err := c.streamOnce(ctx, path, body, onProgress)
+		final = ev
+		// An attempt that already delivered events must not restart:
+		// the caller's progress callback would see the search begin
+		// again. Only clean pre-stream failures (shed admission, an
+		// error event before any progress) are safe to retry.
+		return err, !seen
+	})
+	return final, err
+}
+
+// streamOnce runs one streaming attempt, reporting whether any event —
+// progress or terminal — was delivered to the caller before failure.
+func (c *Client) streamOnce(ctx context.Context, path string, body []byte, onProgress func(StreamEvent)) (StreamEvent, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path+"?stream=1", bytes.NewReader(body))
 	if err != nil {
-		return StreamEvent{}, fmt.Errorf("serve client: %w", err)
+		return StreamEvent{}, false, fmt.Errorf("serve client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return StreamEvent{}, fmt.Errorf("serve client: POST %s: %w", path, err)
+		return StreamEvent{}, false, fmt.Errorf("serve client: POST %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	// Admission failures arrive before the stream starts, as plain
 	// JSON errors with a real HTTP status.
 	if resp.StatusCode/100 != 2 {
-		return StreamEvent{}, apiError(resp)
+		return StreamEvent{}, false, apiError(resp)
 	}
 	dec := json.NewDecoder(resp.Body)
+	seen := false
 	for {
 		var ev StreamEvent
 		if err := dec.Decode(&ev); err != nil {
 			if errors.Is(err, io.EOF) {
-				return StreamEvent{}, fmt.Errorf("serve client: %s stream ended without a terminal event", path)
+				return StreamEvent{}, seen, fmt.Errorf("serve client: %s stream ended without a terminal event", path)
 			}
-			return StreamEvent{}, fmt.Errorf("serve client: decode %s stream: %w", path, err)
+			return StreamEvent{}, seen, fmt.Errorf("serve client: decode %s stream: %w", path, err)
 		}
 		switch ev.Event {
 		case "progress":
 			if onProgress != nil {
 				onProgress(ev)
 			}
+			seen = true
 		case "result":
-			return ev, nil
+			return ev, true, nil
 		case "error":
-			return StreamEvent{}, &APIError{
+			apiErr := &APIError{
 				StatusCode: ev.Status,
 				Message:    ev.Error,
-				RetryAfter: time.Duration(ev.RetryAfterSeconds) * time.Second,
 				State:      ev.State,
 			}
+			if ev.RetryAfterSeconds > 0 {
+				apiErr.RetryAfter = time.Duration(ev.RetryAfterSeconds) * time.Second
+			}
+			return StreamEvent{}, seen, apiErr
 		}
 	}
 }
@@ -200,12 +334,32 @@ func apiError(resp *http.Response) error {
 		e.Error = resp.Status
 	}
 	apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error, State: e.State}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	return apiErr
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110:
+// either a non-negative integer delay in seconds or an HTTP-date.
+// Unparseable values, negative delays, dates in the past and delays
+// that overflow time.Duration all yield 0 — a bogus hint must never
+// stall or crash the client.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs <= 0 || secs > math.MaxInt64/int64(time.Second) {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
 		}
 	}
-	return apiErr
+	return 0
 }
 
 // APIError is a non-2xx response from the server.

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/fault"
+)
+
+// TestStreamDegradedLayer streams a degraded-mode schedule request
+// (fault plan killing one of arch1's two cores) through ?stream=1 and
+// checks the terminal result carries the repaired schedule. Run under
+// -race this also exercises the progress fan-out concurrently with the
+// degraded evaluation.
+func TestStreamDegradedLayer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	c := NewClient(ts.URL)
+
+	req := LayerRequest{
+		Arch:  "arch1",
+		Shape: &ConvJSON{Name: "deg", InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3},
+		FaultPlan: &fault.Plan{
+			CoreDown: []fault.CoreDown{{Core: 1, Cycle: 2000}},
+			DMA:      []fault.Derate{{From: 2000, Factor: 1.5}},
+		},
+	}
+	var events atomic.Int64
+	resp, err := c.ScheduleLayerStream(context.Background(), req, func(StreamEvent) {
+		events.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded == nil {
+		t.Fatal("no degraded schedule in streamed response")
+	}
+	if resp.DegradedRatio < 1 {
+		t.Errorf("degraded ratio %f < 1", resp.DegradedRatio)
+	}
+	if resp.Degraded.LatencyCycles < resp.OoO.LatencyCycles {
+		t.Errorf("degraded latency %d < nominal %d", resp.Degraded.LatencyCycles, resp.OoO.LatencyCycles)
+	}
+	if events.Load() == 0 {
+		t.Error("no progress events observed")
+	}
+}
+
+func TestLayerFaultPlanValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// arch1 has two cores: a plan killing both must be a 400, as must a
+	// core index out of range and a malformed slowdown.
+	cases := map[string]string{
+		"kills all cores": `{"arch": "arch1", "shape": ` + smallShape + `,
+			"fault_plan": {"core_down": [{"core": 0, "cycle": 5}, {"core": 1, "cycle": 5}]}}`,
+		"core out of range": `{"arch": "arch1", "shape": ` + smallShape + `,
+			"fault_plan": {"core_down": [{"core": 7, "cycle": 5}]}}`,
+		"bad slowdown": `{"arch": "arch1", "shape": ` + smallShape + `,
+			"fault_plan": {"flaky": [{"core": 0, "from": 10, "to": 20, "slowdown": 0.5}]}}`,
+		"inverted window": `{"arch": "arch1", "shape": ` + smallShape + `,
+			"fault_plan": {"dma_derate": [{"from": 20, "to": 10, "factor": 2}]}}`,
+	}
+	for name, body := range cases {
+		resp := postJSON(t, ts.URL+"/v1/schedule/layer", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// A valid plan on the non-streaming endpoint returns the degraded
+	// block.
+	ok := `{"arch": "arch1", "shape": ` + smallShape + `,
+		"fault_plan": {"core_down": [{"core": 1, "cycle": 1000}]}}`
+	resp := postJSON(t, ts.URL+"/v1/schedule/layer", ok)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid fault_plan: status %d", resp.StatusCode)
+	}
+	var lr LayerResponse
+	decodeBody(t, resp, &lr)
+	if lr.Degraded == nil || lr.DegradedRatio < 1 {
+		t.Errorf("degraded block missing or ratio %f < 1", lr.DegradedRatio)
+	}
+}
+
+func TestNetworkFaultPlan(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"arch": "arch1", "network": "vgg16", "scale": 8,
+		"fault_plan": {"flaky": [{"core": 0, "from": 0, "to": 100000000, "slowdown": 2}]}}`
+	resp := postJSON(t, ts.URL+"/v1/schedule/network", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var nr NetworkResponse
+	decodeBody(t, resp, &nr)
+	if nr.DegradedCycles < nr.OoOCycles {
+		t.Errorf("degraded total %d < nominal %d", nr.DegradedCycles, nr.OoOCycles)
+	}
+	if nr.DegradedRatio < 1 {
+		t.Errorf("degraded ratio %f < 1", nr.DegradedRatio)
+	}
+	for _, l := range nr.Layers {
+		if l.DegradedCycles <= 0 {
+			t.Errorf("layer %s has no degraded cycles", l.Layer)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{" 5 ", 5 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"9223372036854775807", 0}, // would overflow time.Duration
+		{"garbage", 0},
+		{"3.5", 0}, // RFC 9110 allows only integer seconds
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
+		{"Mon, 99 Jan 2026 12:00:00 GMT", 0},               // unparseable date
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: -1}
+	if got := p.delay(0, 0); got != 100*time.Millisecond {
+		t.Errorf("delay(0) = %v", got)
+	}
+	if got := p.delay(2, 0); got != 400*time.Millisecond {
+		t.Errorf("delay(2) = %v", got)
+	}
+	if got := p.delay(10, 0); got != time.Second {
+		t.Errorf("delay(10) = %v, want the cap", got)
+	}
+	// The server's Retry-After hint floors a smaller backoff.
+	if got := p.delay(0, 700*time.Millisecond); got != 700*time.Millisecond {
+		t.Errorf("delay with floor = %v", got)
+	}
+	// Jitter only adds.
+	j := &RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 20; i++ {
+		if got := j.delay(0, 0); got < 100*time.Millisecond || got > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [100ms,150ms]", got)
+		}
+	}
+}
+
+// flakyHandler fails the first n requests with status, then delegates.
+type flakyHandler struct {
+	n      atomic.Int64
+	status int
+	next   http.Handler
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.n.Add(-1) >= 0 {
+		if h.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(h.status)
+		json.NewEncoder(w).Encode(ErrorResponse{Error: "synthetic " + strconv.Itoa(h.status)})
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+func TestClientRetriesTemporaryErrors(t *testing.T) {
+	s := New(Config{Log: log.New(io.Discard, "", 0)})
+	h := &flakyHandler{status: http.StatusTooManyRequests, next: s.Handler()}
+	h.n.Store(2)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Jitter: -1}
+	resp, err := c.ScheduleLayer(context.Background(), LayerRequest{Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3}})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if resp.OoO.LatencyCycles <= 0 {
+		t.Error("degenerate result after retry")
+	}
+}
+
+func TestClientRetryExhaustsAttempts(t *testing.T) {
+	s := New(Config{Log: log.New(io.Discard, "", 0)})
+	h := &flakyHandler{status: http.StatusTooManyRequests, next: s.Handler()}
+	h.n.Store(100)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, Jitter: -1}
+	_, err := c.ScheduleLayer(context.Background(), LayerRequest{Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3}})
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if used := 100 - h.n.Load(); used != 2 {
+		t.Errorf("server saw %d attempts, want 2", used)
+	}
+}
+
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	s := New(Config{Log: log.New(io.Discard, "", 0)})
+	h := &flakyHandler{status: http.StatusBadRequest, next: s.Handler()}
+	h.n.Store(100)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -1}
+	_, err := c.ScheduleLayer(context.Background(), LayerRequest{Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3}})
+	if err == nil {
+		t.Fatal("400 reported success")
+	}
+	if used := 100 - h.n.Load(); used != 1 {
+		t.Errorf("server saw %d attempts for a 400, want 1", used)
+	}
+}
+
+func TestClientRetryHonorsContextCancellation(t *testing.T) {
+	s := New(Config{Log: log.New(io.Discard, "", 0)})
+	h := &flakyHandler{status: http.StatusTooManyRequests, next: s.Handler()}
+	h.n.Store(100)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	// The Retry-After floor of 1s dominates the tiny backoff, so the
+	// client would sleep ~1s between attempts; the context expires first.
+	c.Retry = &RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, Jitter: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ScheduleLayer(ctx, LayerRequest{Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3}})
+	if err == nil {
+		t.Fatal("cancelled retry reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation took %v, want prompt", elapsed)
+	}
+}
+
+func TestClientNilPolicyDoesNotRetry(t *testing.T) {
+	s := New(Config{Log: log.New(io.Discard, "", 0)})
+	h := &flakyHandler{status: http.StatusTooManyRequests, next: s.Handler()}
+	h.n.Store(100)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.ScheduleLayer(context.Background(), LayerRequest{Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3}})
+	if err == nil {
+		t.Fatal("429 reported success without retries")
+	}
+	if used := 100 - h.n.Load(); used != 1 {
+		t.Errorf("nil policy issued %d attempts, want 1", used)
+	}
+}

@@ -265,6 +265,11 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	opts.FaultPlan, err = resolveFaultPlan(req.FaultPlan, cfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	opts.Cache = s.cache
 	opts.Workers = s.cfg.SearchParallelism
 
@@ -317,6 +322,11 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts, err := resolveOptions(req.Options, cfg)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	opts.FaultPlan, err = resolveFaultPlan(req.FaultPlan, cfg)
 	if err != nil {
 		s.fail(w, err)
 		return

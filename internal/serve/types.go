@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/nets"
 	"github.com/flexer-sched/flexer/internal/sched"
@@ -123,6 +124,11 @@ type LayerRequest struct {
 	Shape *ConvJSON `json:"shape,omitempty"`
 	// Options tune the search; the zero value is a quick default run.
 	Options SearchOptionsJSON `json:"options,omitempty"`
+	// FaultPlan, when present and non-empty, additionally evaluates the
+	// degraded mode of the best schedule under the given faults (core
+	// deaths, flaky windows, DMA derates) and attaches it to the
+	// response. The plan must leave at least one core alive.
+	FaultPlan *fault.Plan `json:"fault_plan,omitempty"`
 	// TimeoutMS bounds the search wall-clock for this request in
 	// milliseconds (0 = server default; capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -144,6 +150,9 @@ type NetworkRequest struct {
 	Scale int `json:"scale,omitempty"`
 	// Options tune the search; the zero value is a quick default run.
 	Options SearchOptionsJSON `json:"options,omitempty"`
+	// FaultPlan, when present and non-empty, evaluates every layer's
+	// degraded mode under the given faults (see LayerRequest.FaultPlan).
+	FaultPlan *fault.Plan `json:"fault_plan,omitempty"`
 	// TimeoutMS bounds the search wall-clock for this request in
 	// milliseconds (0 = server default; capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -167,6 +176,12 @@ type LayerResponse struct {
 	// TrafficReduction is the same ratio for transferred bytes.
 	Speedup          float64 `json:"speedup"`
 	TrafficReduction float64 `json:"traffic_reduction"`
+	// Degraded is the best OoO schedule repaired around the request's
+	// fault_plan; present only when the request carried one.
+	Degraded *trace.Summary `json:"degraded,omitempty"`
+	// DegradedRatio is degraded latency / nominal OoO latency (>= 1; 1
+	// means the faults cost nothing); 0 without a fault_plan.
+	DegradedRatio float64 `json:"degraded_ratio,omitempty"`
 	// ElapsedMS is the server-side search time for this request; a
 	// cache hit reports sub-millisecond values.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -183,6 +198,10 @@ type NetworkLayerJSON struct {
 	StaticOrder      string  `json:"static_order"`
 	Speedup          float64 `json:"speedup"`
 	TrafficReduction float64 `json:"traffic_reduction"`
+	// DegradedCycles and DegradedRatio report this layer's fault-plan
+	// repair; zero without a fault_plan in the request.
+	DegradedCycles int64   `json:"degraded_cycles,omitempty"`
+	DegradedRatio  float64 `json:"degraded_ratio,omitempty"`
 }
 
 // NetworkResponse is the body returned by POST /v1/schedule/network.
@@ -197,6 +216,8 @@ type NetworkResponse struct {
 	StaticTrafficBytes  int64   `json:"static_traffic_bytes"`
 	Speedup             float64 `json:"speedup"`
 	TrafficReduction    float64 `json:"traffic_reduction"`
+	DegradedCycles      int64   `json:"degraded_cycles,omitempty"`
+	DegradedRatio       float64 `json:"degraded_ratio,omitempty"`
 	ElapsedMS           float64 `json:"elapsed_ms"`
 	DistinctLayerShapes int     `json:"distinct_layer_shapes"`
 }
@@ -339,6 +360,19 @@ func resolveOptions(o SearchOptionsJSON, cfg arch.Config) (search.Options, error
 	return opts, nil
 }
 
+// resolveFaultPlan validates a request's fault plan against the
+// resolved hardware, mapping plan mistakes (core out of range, plan
+// kills every core, bad windows) to 400s.
+func resolveFaultPlan(plan *fault.Plan, cfg arch.Config) (*fault.Plan, error) {
+	if plan.Empty() {
+		return nil, nil
+	}
+	if err := plan.Validate(cfg.Cores); err != nil {
+		return nil, badf("fault_plan: %v", err)
+	}
+	return plan, nil
+}
+
 // resolveLayer picks the layer named or embedded in a layer request.
 func resolveLayer(req LayerRequest) (layer.Conv, error) {
 	switch {
@@ -383,7 +417,7 @@ func resolveNetwork(name string, scale int) (nets.Network, error) {
 
 // buildLayerResponse converts a search result into the wire form.
 func buildLayerResponse(lr *search.LayerResult, archName string, full bool, elapsedMS float64) LayerResponse {
-	return LayerResponse{
+	resp := LayerResponse{
 		Layer:            lr.Layer.Name,
 		Arch:             archName,
 		Candidates:       len(lr.Candidates),
@@ -394,6 +428,12 @@ func buildLayerResponse(lr *search.LayerResult, archName string, full bool, elap
 		TrafficReduction: lr.TrafficReduction(),
 		ElapsedMS:        elapsedMS,
 	}
+	if lr.Degraded != nil {
+		deg := trace.Build(lr.Degraded, full)
+		resp.Degraded = &deg
+		resp.DegradedRatio = lr.DegradedRatio()
+	}
+	return resp
 }
 
 // buildNetworkResponse converts a network search result into the wire
@@ -408,7 +448,7 @@ func buildNetworkResponse(nr *search.NetworkResult, distinct int, elapsedMS floa
 		DistinctLayerShapes: distinct,
 	}
 	for _, lr := range nr.Layers {
-		resp.Layers = append(resp.Layers, NetworkLayerJSON{
+		row := NetworkLayerJSON{
 			Layer:            lr.Layer.Name,
 			Tiling:           lr.BestOoO.Factors.String(),
 			OoOCycles:        lr.BestOoO.LatencyCycles,
@@ -418,9 +458,16 @@ func buildNetworkResponse(nr *search.NetworkResult, distinct int, elapsedMS floa
 			StaticOrder:      lr.BestStaticOrder.Name,
 			Speedup:          lr.Speedup(),
 			TrafficReduction: lr.TrafficReduction(),
-		})
+		}
+		if lr.Degraded != nil {
+			row.DegradedCycles = lr.Degraded.LatencyCycles
+			row.DegradedRatio = lr.DegradedRatio()
+		}
+		resp.Layers = append(resp.Layers, row)
 	}
 	resp.OoOCycles, resp.StaticCycles, resp.OoOTrafficBytes, resp.StaticTrafficBytes = nr.Totals()
+	resp.DegradedCycles = nr.DegradedCycles()
+	resp.DegradedRatio = nr.DegradedRatio()
 	return resp
 }
 

@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/tile"
 )
 
@@ -60,6 +61,7 @@ type Timeline struct {
 	dmaFree int64
 	ops     []OpRecord
 	mems    []MemRecord
+	faults  *fault.Plan
 }
 
 // New returns an empty timeline for the given core count.
@@ -69,6 +71,34 @@ func New(cores int) *Timeline {
 	}
 	return &Timeline{npuFree: make([]int64, cores)}
 }
+
+// NewAt returns a timeline whose resources start busy until the given
+// cycles: core i is first free at npuFree[i] and the DMA channel at
+// dmaFree. sched.Repair uses this to resume scheduling mid-makespan
+// with the committed prefix of an existing schedule already "charged"
+// to the resources. The slice is copied.
+func NewAt(npuFree []int64, dmaFree int64) *Timeline {
+	if len(npuFree) == 0 {
+		panic("sim: NewAt needs at least one core")
+	}
+	t := &Timeline{npuFree: make([]int64, len(npuFree)), dmaFree: dmaFree}
+	copy(t.npuFree, npuFree)
+	return t
+}
+
+// SetFaults injects a fault plan: dead cores refuse new ops from their
+// death cycle (BestNPU skips them), flaky cores stretch ops starting in
+// their windows, and DMA transfers starting in a derate window take
+// proportionally longer. A nil plan restores nominal behavior.
+func (t *Timeline) SetFaults(p *fault.Plan) {
+	if p.Empty() {
+		p = nil
+	}
+	t.faults = p
+}
+
+// Faults returns the injected fault plan, or nil.
+func (t *Timeline) Faults() *fault.Plan { return t.faults }
 
 // Cores returns the number of NPU cores.
 func (t *Timeline) Cores() int { return len(t.npuFree) }
@@ -90,13 +120,43 @@ func (t *Timeline) LeastBusyNPU() int {
 	return best
 }
 
+// BestNPU returns the core on which an op ready at earliest and taking
+// cycles (at nominal speed) would finish first, or -1 when every core
+// is dead by the time the op could start. Ties go to the lowest index.
+// Without a fault plan this is exactly LeastBusyNPU, so fault-free
+// schedules are unchanged.
+func (t *Timeline) BestNPU(earliest, cycles int64) int {
+	if t.faults == nil {
+		return t.LeastBusyNPU()
+	}
+	best, bestEnd := -1, int64(0)
+	for i, free := range t.npuFree {
+		start := free
+		if earliest > start {
+			start = earliest
+		}
+		if death, dead := t.faults.DeathCycle(i); dead && start >= death {
+			continue
+		}
+		end := start + fault.Scale(cycles, t.faults.Slowdown(i, start))
+		if best < 0 || end < bestEnd {
+			best, bestEnd = i, end
+		}
+	}
+	return best
+}
+
 // Transfer schedules a DMA transfer of the given latency that may not
 // start before notBefore, and returns its record. Transfers serialize
-// on the single DMA channel.
+// on the single DMA channel. A DMA derate in the fault plan stretches
+// transfers that start inside its window.
 func (t *Timeline) Transfer(id tile.ID, kind MemKind, bytes, latency, notBefore int64) MemRecord {
 	start := t.dmaFree
 	if notBefore > start {
 		start = notBefore
+	}
+	if t.faults != nil {
+		latency = fault.Scale(latency, t.faults.DMAFactor(start))
 	}
 	rec := MemRecord{Tile: id, Kind: kind, Bytes: bytes, Start: start, End: start + latency}
 	t.dmaFree = rec.End
@@ -105,11 +165,19 @@ func (t *Timeline) Transfer(id tile.ID, kind MemKind, bytes, latency, notBefore 
 }
 
 // Issue schedules op on core npu, not before earliest, for the given
-// number of cycles, and returns its record.
+// number of cycles, and returns its record. A flaky window in the fault
+// plan stretches ops that start inside it; issuing on a core at or
+// after its death cycle panics (callers pick cores with BestNPU).
 func (t *Timeline) Issue(op, npu int, earliest, cycles int64) OpRecord {
 	start := t.npuFree[npu]
 	if earliest > start {
 		start = earliest
+	}
+	if t.faults != nil {
+		if death, dead := t.faults.DeathCycle(npu); dead && start >= death {
+			panic(fmt.Sprintf("sim: op %d issued on core %d at cycle %d, dead since %d", op, npu, start, death))
+		}
+		cycles = fault.Scale(cycles, t.faults.Slowdown(npu, start))
 	}
 	rec := OpRecord{Op: op, NPU: npu, Start: start, End: start + cycles}
 	t.npuFree[npu] = rec.End

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/tile"
 )
 
@@ -92,5 +93,102 @@ func TestMemKindStrings(t *testing.T) {
 	}
 	if MemKind(9).String() == "" {
 		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestNewAtSeedsResources(t *testing.T) {
+	tl := NewAt([]int64{100, 50}, 200)
+	if tl.Cores() != 2 || tl.NPUFree(0) != 100 || tl.NPUFree(1) != 50 || tl.DMAFree() != 200 {
+		t.Fatalf("seeded timeline: cores=%d npu0=%d npu1=%d dma=%d", tl.Cores(), tl.NPUFree(0), tl.NPUFree(1), tl.DMAFree())
+	}
+	if got := tl.Makespan(); got != 200 {
+		t.Fatalf("seeded makespan = %d, want 200", got)
+	}
+	rec := tl.Transfer(tile.ID{}, Load, 8, 10, 0)
+	if rec.Start != 200 {
+		t.Fatalf("transfer started at %d, want 200 (seeded dmaFree)", rec.Start)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAt(nil, 0) did not panic")
+		}
+	}()
+	NewAt(nil, 0)
+}
+
+func TestFaultsFlakySlowdown(t *testing.T) {
+	tl := New(1)
+	tl.SetFaults(&fault.Plan{Flaky: []fault.Flaky{{Core: 0, From: 100, To: 200, Slowdown: 2}}})
+	before := tl.Issue(0, 0, 0, 50) // starts at 0, outside the window
+	if before.End-before.Start != 50 {
+		t.Fatalf("op outside window stretched: %+v", before)
+	}
+	inside := tl.Issue(1, 0, 120, 50) // starts at 120, inside
+	if inside.Start != 120 || inside.End != 220 {
+		t.Fatalf("op inside window = [%d,%d), want [120,220)", inside.Start, inside.End)
+	}
+	after := tl.Issue(2, 0, 0, 50) // starts at 220, window closed
+	if after.End-after.Start != 50 {
+		t.Fatalf("op after window stretched: %+v", after)
+	}
+}
+
+func TestFaultsDMADerate(t *testing.T) {
+	tl := New(1)
+	tl.SetFaults(&fault.Plan{DMA: []fault.Derate{{From: 100, To: 300, Factor: 3}}})
+	a := tl.Transfer(tile.ID{}, Load, 8, 40, 0)
+	if a.End-a.Start != 40 {
+		t.Fatalf("transfer before window stretched: %+v", a)
+	}
+	b := tl.Transfer(tile.ID{}, Load, 8, 40, 150)
+	if b.Start != 150 || b.End != 270 {
+		t.Fatalf("derated transfer = [%d,%d), want [150,270)", b.Start, b.End)
+	}
+}
+
+func TestBestNPUSkipsDeadCores(t *testing.T) {
+	tl := New(2)
+	// Without faults, BestNPU is LeastBusyNPU.
+	if got := tl.BestNPU(0, 10); got != tl.LeastBusyNPU() {
+		t.Fatalf("BestNPU without faults = %d, want %d", got, tl.LeastBusyNPU())
+	}
+	tl.SetFaults(&fault.Plan{CoreDown: []fault.CoreDown{{Core: 0, Cycle: 100}}})
+	// Core 0 is free earlier but the op would start at its death cycle.
+	if got := tl.BestNPU(100, 10); got != 1 {
+		t.Fatalf("BestNPU(100) = %d, want 1 (core 0 dead at 100)", got)
+	}
+	// Before the death cycle core 0 is usable.
+	if got := tl.BestNPU(0, 10); got != 0 {
+		t.Fatalf("BestNPU(0) = %d, want 0 (still alive)", got)
+	}
+	// A flaky survivor can lose to a busier healthy core.
+	tl2 := New(2)
+	tl2.SetFaults(&fault.Plan{Flaky: []fault.Flaky{{Core: 0, From: 0, To: 1000, Slowdown: 10}}})
+	tl2.Issue(0, 1, 0, 30) // core 1 busy until 30
+	// Core 0 would run 10x slower (end 100); core 1 ends at 40.
+	if got := tl2.BestNPU(0, 10); got != 1 {
+		t.Fatalf("BestNPU = %d, want 1 (flaky core 0 finishes later)", got)
+	}
+}
+
+func TestIssueOnDeadCorePanics(t *testing.T) {
+	tl := New(1)
+	tl.SetFaults(&fault.Plan{
+		CoreDown: []fault.CoreDown{{Core: 0, Cycle: 50}},
+		Flaky:    []fault.Flaky{{Core: 0, From: 0, To: 10, Slowdown: 2}},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Issue on a dead core did not panic")
+		}
+	}()
+	tl.Issue(0, 0, 60, 10)
+}
+
+func TestSetFaultsEmptyPlanIsNominal(t *testing.T) {
+	tl := New(1)
+	tl.SetFaults(&fault.Plan{})
+	if tl.Faults() != nil {
+		t.Fatal("empty plan not normalized to nil")
 	}
 }

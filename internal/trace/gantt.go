@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/sched"
 	"github.com/flexer-sched/flexer/internal/sim"
 )
@@ -15,6 +16,15 @@ import (
 // mixed DMA activity '*', idle '.'. A bucket counts as busy when any
 // cycle in it is busy, so short events remain visible.
 func WriteGantt(w io.Writer, r *sched.Result, width int) error {
+	return WriteGanttFaults(w, r, width, nil)
+}
+
+// WriteGanttFaults is WriteGantt with the fault plan overlaid: buckets
+// after a core's death print 'X', and flaky-core or DMA-derate windows
+// print '~' over otherwise-idle buckets (busy buckets keep their
+// activity glyph — the stretched intervals already show the slowdown).
+// A nil or empty plan renders the nominal chart.
+func WriteGanttFaults(w io.Writer, r *sched.Result, width int, plan *fault.Plan) error {
 	if width <= 0 {
 		width = 80
 	}
@@ -28,6 +38,20 @@ func WriteGantt(w io.Writer, r *sched.Result, width int) error {
 			cores = op.NPU + 1
 		}
 	}
+	if !plan.Empty() {
+		// A fully dead core schedules nothing, so the record sweep above
+		// misses it; the plan knows it exists.
+		for _, cd := range plan.CoreDown {
+			if cd.Core+1 > cores {
+				cores = cd.Core + 1
+			}
+		}
+		for _, fl := range plan.Flaky {
+			if fl.Core+1 > cores {
+				cores = fl.Core + 1
+			}
+		}
+	}
 	bucket := func(c int64) int {
 		b := int(c * int64(width) / r.LatencyCycles)
 		if b >= width {
@@ -39,12 +63,36 @@ func WriteGantt(w io.Writer, r *sched.Result, width int) error {
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
+	if !plan.Empty() {
+		// Overlay disturbance windows first so activity glyphs win.
+		for i := range rows {
+			for b := 0; b < width; b++ {
+				at := int64(b) * r.LatencyCycles / int64(width)
+				if plan.Slowdown(i, at) > 1 {
+					rows[i][b] = '~'
+				}
+			}
+			if death, dead := plan.DeathCycle(i); dead && death < r.LatencyCycles {
+				for b := bucket(death); b < width; b++ {
+					rows[i][b] = 'X'
+				}
+			}
+		}
+	}
 	for _, op := range r.OpRecords {
 		for b := bucket(op.Start); b <= bucket(op.End-1); b++ {
 			rows[op.NPU][b] = '#'
 		}
 	}
 	dma := []byte(strings.Repeat(".", width))
+	if !plan.Empty() {
+		for b := 0; b < width; b++ {
+			at := int64(b) * r.LatencyCycles / int64(width)
+			if plan.DMAFactor(at) > 1 {
+				dma[b] = '~'
+			}
+		}
+	}
 	for _, m := range r.MemRecords {
 		ch := byte('v')
 		if m.Kind != sim.Load {
@@ -52,7 +100,7 @@ func WriteGantt(w io.Writer, r *sched.Result, width int) error {
 		}
 		for b := bucket(m.Start); b <= bucket(m.End-1); b++ {
 			switch dma[b] {
-			case '.':
+			case '.', '~':
 				dma[b] = ch
 			case ch:
 			default:
@@ -60,8 +108,12 @@ func WriteGantt(w io.Writer, r *sched.Result, width int) error {
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "schedule %s: %d cycles, %d bytes ('#' compute, 'v' load, '^' write, '*' both)\n",
-		r.Factors, r.LatencyCycles, r.TrafficBytes()); err != nil {
+	legend := "'#' compute, 'v' load, '^' write, '*' both"
+	if !plan.Empty() {
+		legend += ", 'X' dead, '~' degraded"
+	}
+	if _, err := fmt.Fprintf(w, "schedule %s: %d cycles, %d bytes (%s)\n",
+		r.Factors, r.LatencyCycles, r.TrafficBytes(), legend); err != nil {
 		return err
 	}
 	for i, row := range rows {

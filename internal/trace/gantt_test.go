@@ -5,7 +5,13 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
 	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/tile"
 )
 
 func TestWriteGantt(t *testing.T) {
@@ -30,6 +36,57 @@ func TestWriteGantt(t *testing.T) {
 		if got := len(l[strings.Index(l, "|")+1 : strings.LastIndex(l, "|")]); got != 60 {
 			t.Errorf("row width %d, want 60: %q", got, l)
 		}
+	}
+}
+
+func TestWriteGanttFaults(t *testing.T) {
+	r := scheduleSmall(t)
+	plan := &fault.Plan{
+		CoreDown: []fault.CoreDown{{Core: 1, Cycle: r.LatencyCycles / 2}},
+		DMA:      []fault.Derate{{From: 0, Factor: 2}}, // open-ended
+	}
+	a := arch.New("t", 2, arch.KiB(256), 32)
+	g, err := tile.NewGrid(layer.NewConv("s", 8, 8, 32, 24, 3), r.Factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := sched.Repair(dfg.Build(g, model.New(a)), r, plan, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGanttFaults(&buf, repaired, 60, plan); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "X") {
+		t.Errorf("dead core row has no 'X': %q", lines[2])
+	}
+	if strings.Contains(lines[1], "X") {
+		t.Errorf("surviving core row shows 'X': %q", lines[1])
+	}
+	// The derate window covers the whole run; any idle DMA bucket must
+	// render '~' (busy buckets keep their activity glyph).
+	if strings.Contains(lines[3], ".") {
+		t.Errorf("derated dma row has idle '.': %q", lines[3])
+	}
+	if !strings.Contains(lines[0], "dead") {
+		t.Errorf("legend missing fault glyphs: %q", lines[0])
+	}
+	// Nil plan renders the nominal chart byte-for-byte.
+	var nom, nilPlan bytes.Buffer
+	if err := WriteGantt(&nom, r, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGanttFaults(&nilPlan, r, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nom.String() != nilPlan.String() {
+		t.Error("nil-plan WriteGanttFaults differs from WriteGantt")
 	}
 }
 

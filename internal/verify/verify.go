@@ -22,6 +22,8 @@ import (
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/fault"
+	"github.com/flexer-sched/flexer/internal/model"
 	"github.com/flexer-sched/flexer/internal/sched"
 	"github.com/flexer-sched/flexer/internal/sim"
 	"github.com/flexer-sched/flexer/internal/tile"
@@ -30,6 +32,17 @@ import (
 // Schedule replays r against gr and cfg and returns the first violation
 // found, or nil.
 func Schedule(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
+	return ScheduleFaults(gr, r, cfg, nil)
+}
+
+// ScheduleFaults is Schedule for a machine degraded by plan: on top of
+// the nominal checks it confirms that no op starts on a core at or
+// after the core's death cycle (in-flight work may drain past it), that
+// ops starting inside a flaky window are stretched by at least the
+// window's slowdown, and that DMA transfers starting inside a derate
+// window take at least the derated latency. A nil or empty plan is the
+// nominal check.
+func ScheduleFaults(gr *dfg.Graph, r *sched.Result, cfg arch.Config, plan *fault.Plan) error {
 	if err := opsOnce(gr, r); err != nil {
 		return err
 	}
@@ -42,7 +55,42 @@ func Schedule(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 	if err := residency(gr, r, cfg); err != nil {
 		return err
 	}
-	return outputsReachDRAM(gr, r)
+	if err := outputsReachDRAM(gr, r); err != nil {
+		return err
+	}
+	if plan.Empty() {
+		return nil
+	}
+	return faults(gr, r, cfg, plan)
+}
+
+// faults checks the fault-plan obligations of a degraded schedule.
+func faults(gr *dfg.Graph, r *sched.Result, cfg arch.Config, plan *fault.Plan) error {
+	if err := plan.Validate(cfg.Cores); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	for _, rec := range r.OpRecords {
+		if death, dead := plan.DeathCycle(rec.NPU); dead && rec.Start >= death {
+			return fmt.Errorf("verify: op %d starts at %d on core %d, dead since %d",
+				rec.Op, rec.Start, rec.NPU, death)
+		}
+		if s := plan.Slowdown(rec.NPU, rec.Start); s > 1 {
+			if want := fault.Scale(gr.Ops[rec.Op].Cycles, s); rec.End-rec.Start < want {
+				return fmt.Errorf("verify: op %d on flaky core %d runs [%d,%d), want >= %d cycles (slowdown %g)",
+					rec.Op, rec.NPU, rec.Start, rec.End, want, s)
+			}
+		}
+	}
+	m := model.New(cfg)
+	for _, rec := range r.MemRecords {
+		if f := plan.DMAFactor(rec.Start); f > 1 {
+			if want := fault.Scale(m.TransferCycles(rec.Bytes), f); rec.End-rec.Start < want {
+				return fmt.Errorf("verify: %s of %v starts at %d in a %gx derate window but takes %d cycles, want >= %d",
+					rec.Kind, rec.Tile, rec.Start, f, rec.End-rec.Start, want)
+			}
+		}
+	}
+	return nil
 }
 
 func opsOnce(gr *dfg.Graph, r *sched.Result) error {
@@ -118,6 +166,11 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 	// the allocator state; replay both streams in timestamp order with
 	// mem records applied first at equal times.
 	resident := make(map[tile.ID]bool)
+	// avail records the first arrival time (load End) of each tile: an
+	// operand is usable once some load of it has completed. Later
+	// reloads do not tighten the bound — clean evictions leave no DMA
+	// record, so residency can only be bounded by the first load.
+	avail := make(map[tile.ID]int64)
 	var bytes int64
 	g := gr.Grid
 
@@ -128,6 +181,9 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
 
 	load := func(m sim.MemRecord) error {
+		if _, ok := avail[m.Tile]; !ok {
+			avail[m.Tile] = m.End
+		}
 		if !resident[m.Tile] {
 			resident[m.Tile] = true
 			bytes += g.Size(m.Tile)
@@ -155,11 +211,17 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 		}
 		o := &gr.Ops[op.Op]
 		// Operands must have been loaded at least once before the op
-		// starts (or be produced on-chip: outputs and partial sums).
+		// starts (or be produced on-chip: outputs and partial sums), and
+		// that load must have completed — compute on in-flight data would
+		// read garbage on a real machine.
 		for _, t := range []tile.ID{o.In, o.Wt} {
 			if !resident[t] {
 				return fmt.Errorf("verify: op %d starts at %d but operand %v was never loaded",
 					op.Op, op.Start, t)
+			}
+			if at := avail[t]; at > op.Start {
+				return fmt.Errorf("verify: op %d starts at %d but operand %v only arrives at %d",
+					op.Op, op.Start, t, at)
 			}
 		}
 		if o.ReadsPsum {
