@@ -6,7 +6,10 @@ GO ?= go
 # Combined statement coverage required of internal/serve + internal/search.
 COVER_MIN ?= 70
 
-.PHONY: check build vet test test-short bench bench-smoke fuzz-smoke lint cover cover-check run-flexerd
+.PHONY: check build vet test test-short bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
+
+# The committed benchmark record the regression guard compares against.
+BENCH_BASELINE ?= BENCH_0006.json
 
 check: build vet test
 
@@ -31,6 +34,17 @@ bench:
 # of a real measurement run. CI uploads the output as an artifact.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/search/... ./internal/sim/...
+
+# Fresh benchmark record of the quick presets (see docs/PERFORMANCE.md).
+bench-record:
+	$(GO) run ./cmd/flexerbench -preset quick -json bench-new.json
+
+# Regression guard: re-run the quick presets and fail if any preset's
+# best simulated cycles regressed against the committed record. Cycles
+# are deterministic and machine-independent, so the comparison is
+# exact; wall time and allocations are recorded but not gated.
+bench-guard:
+	$(GO) run ./cmd/flexerbench -preset quick -json bench-new.json -guard $(BENCH_BASELINE)
 
 # Short native-fuzzing run over the packages with fuzz targets: the
 # schedule verifier (repaired schedules under random fault plans) and

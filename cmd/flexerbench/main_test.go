@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/experiments"
+)
+
+// TestDocListsAllExperiments keeps the package documentation honest:
+// every canonical experiment name must appear in main.go's doc comment,
+// and the run() dispatch must have a case for it. The flag help is
+// built from experiments.Names() directly, so the three sources cannot
+// drift apart without this test failing.
+func TestDocListsAllExperiments(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(src)
+	pkgDecl := strings.Index(text, "\npackage main")
+	if pkgDecl < 0 {
+		t.Fatal("main.go has no package declaration")
+	}
+	doc := text[:pkgDecl]
+	for _, name := range experiments.Names() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("package doc does not mention experiment %q", name)
+		}
+		if !strings.Contains(text, "case "+`"`+name+`":`) {
+			t.Errorf("run() has no case for experiment %q", name)
+		}
+	}
+}
+
+// TestBenchPresetSelectors checks the preset registry resolves the
+// documented selectors.
+func TestBenchPresetSelectors(t *testing.T) {
+	quick, err := experiments.BenchPresets("quick")
+	if err != nil || len(quick) == 0 {
+		t.Fatalf("quick presets: %v (%d)", err, len(quick))
+	}
+	for _, p := range quick {
+		if p.Budget != "quick" {
+			t.Errorf("quick selector returned %s with budget %s", p.Name, p.Budget)
+		}
+	}
+	all, err := experiments.BenchPresets("all")
+	if err != nil || len(all) <= len(quick) {
+		t.Fatalf("all presets: %v (%d, quick %d)", err, len(all), len(quick))
+	}
+	byName, err := experiments.BenchPresets("vgg16-quick")
+	if err != nil || len(byName) != 1 || byName[0].Name != "vgg16-quick" {
+		t.Fatalf("by-name selector: %v %+v", err, byName)
+	}
+	if _, err := experiments.BenchPresets("no-such-preset"); err == nil {
+		t.Error("unknown preset selector did not error")
+	}
+}

@@ -32,7 +32,11 @@ func main() {
 
 	budget := flexer.QuickBudget()
 	budget.MaxTilings = 12
-	result, err := flexer.SearchLayer(layer, flexer.Options{Arch: cfg, Budget: budget})
+	// The sweep wants a point for every viable tiling, so switch off
+	// dominance pruning (it drops provably-worse candidates).
+	result, err := flexer.SearchLayer(layer, flexer.Options{
+		Arch: cfg, Budget: budget, DisableDominance: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

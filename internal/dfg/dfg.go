@@ -120,13 +120,19 @@ func (gr *Graph) Succ(i int) int {
 // InitialReady returns the indices of all ops with no dependencies
 // (ic == 0), in canonical order.
 func (gr *Graph) InitialReady() []int {
-	out := make([]int, 0, len(gr.Ops)/gr.Grid.NIC)
+	return gr.AppendInitialReady(make([]int, 0, len(gr.Ops)/gr.Grid.NIC))
+}
+
+// AppendInitialReady appends the initially-ready op indices to dst and
+// returns it, letting callers that schedule many graphs reuse one
+// buffer.
+func (gr *Graph) AppendInitialReady(dst []int) []int {
 	for i := range gr.Ops {
 		if gr.Ops[i].IC == 0 {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	return out
+	return dst
 }
 
 // TotalUses returns the total number of op accesses to tile id over the
@@ -137,11 +143,22 @@ func (gr *Graph) TotalUses(id tile.ID) int { return gr.uses[id] }
 // scheduler decrements a copy as ops issue to obtain remaining-use
 // counts for the spill and priority heuristics.
 func (gr *Graph) Uses() map[tile.ID]int {
-	out := make(map[tile.ID]int, len(gr.uses))
-	for k, v := range gr.uses {
-		out[k] = v
+	return gr.UsesInto(make(map[tile.ID]int, len(gr.uses)))
+}
+
+// UsesInto fills dst (cleared first) with the access-count table and
+// returns it, letting callers that schedule many graphs reuse one map.
+// A nil dst allocates, like Uses.
+func (gr *Graph) UsesInto(dst map[tile.ID]int) map[tile.ID]int {
+	if dst == nil {
+		dst = make(map[tile.ID]int, len(gr.uses))
+	} else {
+		clear(dst)
 	}
-	return out
+	for k, v := range gr.uses {
+		dst[k] = v
+	}
+	return dst
 }
 
 // OpAt returns the index of the op at block coordinates (oh, ow, oc,

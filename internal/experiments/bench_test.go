@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchRec(presetCycles map[string]int64) *BenchRecord {
+	rec := NewBenchRecord(nil, 1)
+	for name, cycles := range presetCycles {
+		rec.Results = append(rec.Results, BenchResult{
+			Preset:           name,
+			BestOoOCycles:    cycles,
+			BestStaticCycles: cycles + 100,
+		})
+	}
+	return rec
+}
+
+// TestGuardCompareDetectsSeededRegression seeds a cycle regression and
+// checks the guard fails on it, names the preset, and passes when the
+// regression is removed.
+func TestGuardCompareDetectsSeededRegression(t *testing.T) {
+	committed := benchRec(map[string]int64{"vgg16-quick": 1000, "resnet50-quick": 2000})
+
+	regressed := benchRec(map[string]int64{"vgg16-quick": 1001, "resnet50-quick": 2000})
+	err := GuardCompare(committed, regressed)
+	if err == nil {
+		t.Fatal("guard passed a seeded +1 cycle regression")
+	}
+	if !strings.Contains(err.Error(), "vgg16-quick") || !strings.Contains(err.Error(), "1001") {
+		t.Errorf("guard error does not identify the regression: %v", err)
+	}
+
+	same := benchRec(map[string]int64{"vgg16-quick": 1000, "resnet50-quick": 2000})
+	if err := GuardCompare(committed, same); err != nil {
+		t.Errorf("guard failed identical results: %v", err)
+	}
+
+	improved := benchRec(map[string]int64{"vgg16-quick": 900, "resnet50-quick": 2000})
+	if err := GuardCompare(committed, improved); err != nil {
+		t.Errorf("guard failed an improvement: %v", err)
+	}
+
+	// Static-baseline regressions are guarded too.
+	staticReg := benchRec(map[string]int64{"vgg16-quick": 1000})
+	staticReg.Results[0].BestStaticCycles = 2000
+	if err := GuardCompare(committed, staticReg); err == nil {
+		t.Error("guard passed a static-cycles regression")
+	}
+}
+
+func TestGuardCompareMismatches(t *testing.T) {
+	committed := benchRec(map[string]int64{"vgg16-full": 1000})
+	fresh := benchRec(map[string]int64{"vgg16-quick": 1000})
+	if err := GuardCompare(committed, fresh); err == nil {
+		t.Error("guard passed with no preset in common")
+	}
+
+	v2 := benchRec(map[string]int64{"vgg16-quick": 1000})
+	v2.SchemaVersion = BenchSchemaVersion + 1
+	if err := GuardCompare(v2, benchRec(map[string]int64{"vgg16-quick": 1000})); err == nil {
+		t.Error("guard passed a schema version mismatch")
+	}
+
+	// Presets missing on one side are skipped as long as some overlap.
+	wide := benchRec(map[string]int64{"vgg16-quick": 1000, "vgg16-full": 5000})
+	narrow := benchRec(map[string]int64{"vgg16-quick": 1000})
+	if err := GuardCompare(wide, narrow); err != nil {
+		t.Errorf("guard failed on partial preset overlap: %v", err)
+	}
+}
+
+// TestBenchRecordRoundTrip writes and reloads a record.
+func TestBenchRecordRoundTrip(t *testing.T) {
+	rec := benchRec(map[string]int64{"vgg16-quick": 1234})
+	rec.Baseline = &BenchBaseline{Note: "pre-change tree", Results: []BenchResult{{Preset: "vgg16-quick", BestOoOCycles: 1300}}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != BenchSchemaVersion || len(got.Results) != 1 || got.Results[0].BestOoOCycles != 1234 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Baseline == nil || got.Baseline.Results[0].BestOoOCycles != 1300 {
+		t.Errorf("baseline did not round trip: %+v", got.Baseline)
+	}
+}
+
+// TestRunBenchPresetSmoke runs the smallest preset end to end and
+// sanity-checks the measured fields.
+func TestRunBenchPresetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-network search in -short mode")
+	}
+	presets, err := BenchPresets("squeezenet-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunBenchPreset(presets[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestOoOCycles <= 0 || r.BestStaticCycles <= 0 || r.Layers == 0 {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if r.CandidatesEnumerated <= 0 {
+		t.Errorf("no candidates enumerated: %+v", r)
+	}
+	if r.WallMS <= 0 {
+		t.Errorf("wall time not measured: %+v", r)
+	}
+}

@@ -42,6 +42,18 @@ type Config struct {
 	Cache *search.Cache
 }
 
+// Names returns the canonical list of experiment names, in the order
+// "flexerbench -exp all" runs them. The flexerbench command builds its
+// flag help from this list and asserts its package documentation
+// against it, so the three stay in sync by construction.
+func Names() []string {
+	return []string{
+		"table1", "fig1", "fig8", "fig9a", "fig9b", "fig9c",
+		"fig10", "fig11", "fig12", "ablations",
+		"bandwidth", "energy", "chain",
+	}
+}
+
 // Default returns the configuration used by the benchmark harness:
 // networks scaled by 4, quick search budget.
 func Default() Config {

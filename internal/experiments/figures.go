@@ -75,7 +75,11 @@ func Fig1(cfg Config) ([]Fig1Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		lr, err := search.SearchLayer(l, cfg.options(a))
+		// The scatter plot wants every viable tiling, not just the
+		// non-dominated survivors.
+		opts := cfg.options(a)
+		opts.DisableDominance = true
+		lr, err := search.SearchLayer(l, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -427,7 +431,11 @@ func Fig11(cfg Config) ([]Fig11Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	lr, err := search.SearchLayer(l, cfg.options(a))
+	// The alt-candidate sweep below inspects every scheduled tiling, so
+	// keep the candidate list exhaustive.
+	opts := cfg.options(a)
+	opts.DisableDominance = true
+	lr, err := search.SearchLayer(l, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -64,6 +64,15 @@ func (m Model) TransferCycles(n int64) int64 {
 	return dmaSetupCycles + ceilDiv64(n, int64(m.bwBytes))
 }
 
+// FillCycles returns the fixed pipeline fill/drain overhead charged to
+// every tiled op, the additive constant of ConvCycles. Lower-bound
+// computations use it to price op counts without enumerating ops.
+func (m Model) FillCycles() int64 { return computeFillCycles }
+
+// SetupCycles returns the fixed DMA descriptor-setup cost charged to
+// every non-empty transfer, the additive constant of TransferCycles.
+func (m Model) SetupCycles() int64 { return dmaSetupCycles }
+
 // PERows returns the PE-array row count (input-channel parallelism).
 func (m Model) PERows() int { return m.peRows }
 

@@ -16,7 +16,11 @@ import (
 // op can be made resident.
 func (e *engine) nextSetOoO() *setEval {
 	window := e.selectWindow()
-	e.sigSeen = nil
+	if e.sigSeen == nil {
+		e.sigSeen = make(map[string]bool)
+	} else {
+		clear(e.sigSeen)
+	}
 	maxSize := e.cfg.Arch.Cores
 	if len(window) < maxSize {
 		maxSize = len(window)
@@ -27,8 +31,14 @@ func (e *engine) nextSetOoO() *setEval {
 	var best *setEval
 	for size := maxSize; size >= 1; size-- {
 		cand := e.bestSetOfSize(window, size)
-		if cand != nil && (best == nil || e.less(cand, best)) {
+		if cand == nil {
+			continue
+		}
+		if best == nil || e.less(cand, best) {
+			e.releaseEval(best)
 			best = cand
+		} else {
+			e.releaseEval(cand)
 		}
 	}
 	if best == nil && len(window) < len(e.ready) {
@@ -39,6 +49,38 @@ func (e *engine) nextSetOoO() *setEval {
 	return best
 }
 
+// rankedOps sorts ready ops by descending resident-operand bytes, ties
+// broken by rank. It lives on the engine so sorting allocates nothing
+// (sort.Slice's reflection-based swapper was a measurable share of the
+// search's heap).
+type rankedOps struct {
+	ops    []int
+	scores []int64
+	rank   []int
+}
+
+func (r *rankedOps) Len() int { return len(r.ops) }
+func (r *rankedOps) Less(i, j int) bool {
+	if r.scores[i] != r.scores[j] {
+		return r.scores[i] > r.scores[j]
+	}
+	return r.rank[r.ops[i]] < r.rank[r.ops[j]]
+}
+func (r *rankedOps) Swap(i, j int) {
+	r.ops[i], r.ops[j] = r.ops[j], r.ops[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}
+
+// hintedOps sorts ops by their hint rank.
+type hintedOps struct {
+	ops  []int
+	rank []int
+}
+
+func (h *hintedOps) Len() int           { return len(h.ops) }
+func (h *hintedOps) Less(i, j int) bool { return h.rank[h.ops[i]] < h.rank[h.ops[j]] }
+func (h *hintedOps) Swap(i, j int)      { h.ops[i], h.ops[j] = h.ops[j], h.ops[i] }
+
 // selectWindow returns the most promising ready ops, at most
 // MaxReadyWindow. In pure OoO mode ops are ranked by the bytes of
 // their operands already resident (aligning the window with the
@@ -46,22 +88,25 @@ func (e *engine) nextSetOoO() *setEval {
 // the hint order outright — the run explores combinations around the
 // loop order, deviating only where the set priority says so, which is
 // how Algorithm 1's per-dataflow GetSchedule stays anchored to its
-// dataflow.
+// dataflow. The returned slice is engine scratch, valid until the next
+// call.
 func (e *engine) selectWindow() []int {
 	if e.cfg.Hint != nil {
-		window := append([]int(nil), e.ready...)
-		sort.Slice(window, func(i, j int) bool { return e.rank[window[i]] < e.rank[window[j]] })
+		e.hinted.ops = append(e.hinted.ops[:0], e.ready...)
+		e.hinted.rank = e.rank
+		sort.Sort(&e.hinted)
+		window := e.hinted.ops
 		if n := e.cfg.MaxReadyWindow; len(window) > n {
 			window = window[:n]
 		}
 		return window
 	}
-	type ranked struct {
-		op    int
-		score int64
+	e.ranked.ops = append(e.ranked.ops[:0], e.ready...)
+	if cap(e.ranked.scores) < len(e.ready) {
+		e.ranked.scores = make([]int64, len(e.ready))
 	}
-	rs := make([]ranked, len(e.ready))
-	for i, opIdx := range e.ready {
+	e.ranked.scores = e.ranked.scores[:len(e.ready)]
+	for i, opIdx := range e.ranked.ops {
 		op := &e.gr.Ops[opIdx]
 		var score int64
 		if e.mem.Has(op.In) {
@@ -73,23 +118,16 @@ func (e *engine) selectWindow() []int {
 		if op.ReadsPsum && e.mem.Has(op.Out) {
 			score += e.gr.Grid.Size(op.Out)
 		}
-		rs[i] = ranked{op: opIdx, score: score}
+		e.ranked.scores[i] = score
 	}
-	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].score != rs[j].score {
-			return rs[i].score > rs[j].score
-		}
-		return e.rank[rs[i].op] < e.rank[rs[j].op]
-	})
+	e.ranked.rank = e.rank
+	sort.Stable(&e.ranked)
 	n := e.cfg.MaxReadyWindow
-	if n > len(rs) {
-		n = len(rs)
+	if n > len(e.ranked.ops) {
+		n = len(e.ranked.ops)
 	}
-	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		out[i] = rs[i].op
-	}
-	return out
+	e.window = append(e.window[:0], e.ranked.ops[:n]...)
+	return e.window
 }
 
 // bestSetOfSize enumerates combinations of size ops from window,
@@ -102,8 +140,12 @@ func (e *engine) bestSetOfSize(window []int, size int) *setEval {
 	if prune && e.sigSeen == nil {
 		e.sigSeen = make(map[string]bool)
 	}
-	combo := make([]int, size)
-	set := make([]int, size)
+	if cap(e.combo) < size {
+		e.combo = make([]int, size)
+		e.set = make([]int, size)
+	}
+	combo := e.combo[:size]
+	set := e.set[:size]
 	var rec func(start, depth int) bool
 	rec = func(start, depth int) bool {
 		if depth == size {
@@ -112,16 +154,24 @@ func (e *engine) bestSetOfSize(window []int, size int) *setEval {
 			}
 			if prune {
 				sig := e.setSignature(set)
-				if e.sigSeen[sig] {
+				// The byte-slice key avoids allocating a string for
+				// already-seen signatures (the common case); only new
+				// signatures are interned on insert.
+				if e.sigSeen[string(sig)] {
 					e.nPruned++
 					return true
 				}
-				e.sigSeen[sig] = true
+				e.sigSeen[string(sig)] = true
 			}
-			ev := e.evalSet(append([]int(nil), set...))
+			ev := e.evalSet(set)
 			evaluated++
-			if ev != nil && (best == nil || e.less(ev, best)) {
-				best = ev
+			if ev != nil {
+				if best == nil || e.less(ev, best) {
+					e.releaseEval(best)
+					best = ev
+				} else {
+					e.releaseEval(ev)
+				}
 			}
 			return evaluated < e.cfg.MaxCandidateSets
 		}
@@ -137,26 +187,53 @@ func (e *engine) bestSetOfSize(window []int, size int) *setEval {
 	return best
 }
 
+// sigRef is one distinct operand tile of a candidate set, as classified
+// by the dataflow-map signature.
+type sigRef struct {
+	id      tile.ID
+	kind    uint8
+	present bool
+	size    int64
+	count   int
+}
+
+// sigLess orders signature entries by (kind, present, size, count); the
+// tile identity is deliberately not part of the order or the signature.
+func sigLess(a, b *sigRef) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.present != b.present {
+		return a.present
+	}
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.count < b.count
+}
+
 // setSignature classifies a candidate set by its dataflow map
 // (Section 4.2): for every distinct operand tile, its kind, residency,
 // byte size and the number of ops in the set referencing it. Sets with
 // identical signatures move the same data and are interchangeable for
-// the priority function, so duplicates are pruned.
-func (e *engine) setSignature(ops []int) string {
-	type ref struct {
-		kind    uint8
-		present bool
-		size    int64
-		count   int
-	}
-	refs := make(map[tile.ID]*ref, 3*len(ops))
+// the priority function, so duplicates are pruned. The returned bytes
+// are engine scratch, valid until the next call. A set references at
+// most 3 x #cores tiles, so the per-tile bookkeeping is a linear scan
+// and an insertion sort rather than a map and sort.Slice (both were hot
+// in profiles).
+func (e *engine) setSignature(ops []int) []byte {
+	refs := e.sigRefs[:0]
 	add := func(id tile.ID) {
-		r := refs[id]
-		if r == nil {
-			r = &ref{kind: uint8(id.Kind), present: e.mem.Has(id), size: e.gr.Grid.Size(id)}
-			refs[id] = r
+		for i := range refs {
+			if refs[i].id == id {
+				refs[i].count++
+				return
+			}
 		}
-		r.count++
+		refs = append(refs, sigRef{
+			id: id, kind: uint8(id.Kind), present: e.mem.Has(id),
+			size: e.gr.Grid.Size(id), count: 1,
+		})
 	}
 	for _, opIdx := range ops {
 		op := &e.gr.Ops[opIdx]
@@ -166,25 +243,15 @@ func (e *engine) setSignature(ops []int) string {
 		// distinguished by residency + count.
 		add(op.Out)
 	}
-	entries := make([]ref, 0, len(refs))
-	for _, r := range refs {
-		entries = append(entries, *r)
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && sigLess(&refs[j], &refs[j-1]); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := entries[i], entries[j]
-		if a.kind != b.kind {
-			return a.kind < b.kind
-		}
-		if a.present != b.present {
-			return a.present
-		}
-		if a.size != b.size {
-			return a.size < b.size
-		}
-		return a.count < b.count
-	})
+	e.sigRefs = refs
 	buf := e.sigBuf[:0]
-	for _, r := range entries {
+	for i := range refs {
+		r := &refs[i]
 		buf = append(buf, r.kind)
 		if r.present {
 			buf = append(buf, 1)
@@ -197,7 +264,7 @@ func (e *engine) setSignature(ops []int) string {
 		buf = append(buf, ';')
 	}
 	e.sigBuf = buf
-	return string(buf)
+	return buf
 }
 
 // nextSetInOrder forms the next set following the static op order: the
@@ -207,18 +274,26 @@ func (e *engine) setSignature(ops []int) string {
 // until it fits.
 func (e *engine) nextSetInOrder() *setEval {
 	order := e.cfg.Order
-	var set []int
-	inSet := make(map[int]bool, e.cfg.Arch.Cores)
+	set := e.window[:0]
 	for i := e.pos; i < len(order) && len(set) < e.cfg.Arch.Cores; i++ {
 		op := order[i]
-		if p := e.gr.Pred(op); p >= 0 && inSet[p] {
-			break // in-order issue stalls at the dependent op
+		if p := e.gr.Pred(op); p >= 0 {
+			inSet := false
+			for _, s := range set {
+				if s == p {
+					inSet = true
+					break
+				}
+			}
+			if inSet {
+				break // in-order issue stalls at the dependent op
+			}
 		}
 		set = append(set, op)
-		inSet[op] = true
 	}
+	e.window = set[:0]
 	for len(set) > 0 {
-		if ev := e.evalSet(append([]int(nil), set...)); ev != nil {
+		if ev := e.evalSet(set); ev != nil {
 			e.pos += len(set)
 			return ev
 		}

@@ -39,33 +39,47 @@ func (ev *setEval) movedBytes() int64 { return ev.loadBytes + ev.spillBytes }
 
 // evalSet simulates issuing ops as one parallel set. It returns nil
 // when the set's operands cannot all be made resident (the scratchpad
-// cannot hold them even after evicting every unpinned block).
+// cannot hold them even after evicting every unpinned block). The ops
+// slice is copied; callers keep ownership.
 //
 // The simulation runs against a clone of the scratchpad so that many
 // candidate sets can be compared side-effect-free; the clone of the
-// winning set is adopted wholesale by the engine.
+// winning set is adopted wholesale by the engine. Evaluations and their
+// clones are recycled through the engine's free lists (releaseEval), so
+// losing candidates cost no steady-state allocation.
 func (e *engine) evalSet(ops []int) *setEval {
 	e.nEval++
-	mem := e.mem.Clone()
-	ev := &setEval{ops: ops, mem: mem}
+	mem := e.cloneMem()
+	ev := e.getEval()
+	ev.ops = append(ev.ops[:0], ops...)
+	ev.mem = mem
 	cores := e.cfg.Arch.Cores
 
 	// Tiles brought on-chip by this very set: sharing them within the
 	// set avoids a second load but is "new data", not reuse — the
 	// paper's dataflow maps (Fig. 7) keep the two separate and the
-	// memory benefit only credits data that was already resident.
-	fresh := make(map[tile.ID]bool, 3*len(ops))
+	// memory benefit only credits data that was already resident. A set
+	// touches at most 3 x #cores tiles, so a linear scan beats a map.
+	e.fresh = e.fresh[:0]
+	isFresh := func(id tile.ID) bool {
+		for _, f := range e.fresh {
+			if f == id {
+				return true
+			}
+		}
+		return false
+	}
 
 	touch := func(id tile.ID, load bool) bool {
 		size := e.gr.Grid.Size(id)
 		if mem.Has(id) {
-			if !fresh[id] {
+			if !isFresh(id) {
 				ev.reused += size
 			}
 			mem.Pin(id)
 			return true
 		}
-		fresh[id] = true
+		e.fresh = append(e.fresh, id)
 		evs, err := mem.Allocate(id, size, e.remainUses)
 		if err != nil {
 			return false
@@ -92,12 +106,14 @@ func (e *engine) evalSet(ops []int) *setEval {
 	for _, opIdx := range ops {
 		op := &e.gr.Ops[opIdx]
 		if !touch(op.In, true) || !touch(op.Wt, true) {
+			e.releaseEval(ev)
 			return nil
 		}
 		// The output tile: a first write only reserves space; an
 		// accumulation step must bring the partial sum back on-chip if
 		// it was spilled.
 		if !touch(op.Out, op.ReadsPsum) {
+			e.releaseEval(ev)
 			return nil
 		}
 	}

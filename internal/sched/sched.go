@@ -15,6 +15,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/flexer-sched/flexer/internal/arch"
 	"github.com/flexer-sched/flexer/internal/dfg"
@@ -98,6 +99,14 @@ type Config struct {
 	// inside a derate window take proportionally longer. The plan must
 	// leave at least one core alive (Validate enforces this).
 	FaultPlan *fault.Plan
+	// CutoffCycles, when positive, aborts the run with ErrCutoff as
+	// soon as the partial schedule's makespan exceeds it. The timeline
+	// only ever grows, so a partial makespan is a lower bound on the
+	// final latency: a run that trips the cutoff is provably worse
+	// than whatever target the cutoff encodes. The search uses this to
+	// abandon candidate schedules dominated by the incumbent best
+	// without running them to completion.
+	CutoffCycles int64
 }
 
 // Defaults for Config fields left zero.
@@ -191,9 +200,77 @@ type engine struct {
 	nEval   int
 	nPruned int
 	nDone   int
+
+	// Recycled scratch. The scheduler evaluates thousands of candidate
+	// sets per run and search runs thousands of schedules per layer;
+	// these free lists and buffers keep the steady state allocation-free
+	// (profile-guided: SPM clones and per-set bookkeeping dominated the
+	// heap before). All fields are nil-safe, so engines built as plain
+	// literals (Repair, tests) work unchanged.
+	spmFree  []*spm.SPM // retired scratchpad clones, reused via CloneInto
+	evalFree []*setEval // retired set evaluations
+	window   []int      // selectWindow / nextSetInOrder result buffer
+	ranked   rankedOps  // selectWindow sort scratch
+	hinted   hintedOps  // selectWindow sort scratch (hint mode)
+	combo    []int      // bestSetOfSize combination indices
+	set      []int      // bestSetOfSize op scratch
+	sigRefs  []sigRef   // setSignature operand scratch
+	fresh    []tile.ID  // evalSet: tiles brought on-chip by the current set
+	refs     []tileRef  // apply: per-tile reference counts of one set
 }
 
+// cloneMem clones the engine's scratchpad, reusing a retired clone when
+// one is available.
+func (e *engine) cloneMem() *spm.SPM {
+	if n := len(e.spmFree); n > 0 {
+		dst := e.spmFree[n-1]
+		e.spmFree = e.spmFree[:n-1]
+		return e.mem.CloneInto(dst)
+	}
+	return e.mem.Clone()
+}
+
+// releaseEval recycles a retired set evaluation and its scratchpad
+// clone. nil is ignored, so callers can release an old best
+// unconditionally.
+func (e *engine) releaseEval(ev *setEval) {
+	if ev == nil {
+		return
+	}
+	if ev.mem != nil {
+		e.spmFree = append(e.spmFree, ev.mem)
+		ev.mem = nil
+	}
+	e.evalFree = append(e.evalFree, ev)
+}
+
+// getEval returns a zeroed set evaluation, recycled when possible. The
+// ops/loads/spills buffers keep their capacity.
+func (e *engine) getEval() *setEval {
+	n := len(e.evalFree)
+	if n == 0 {
+		return &setEval{}
+	}
+	ev := e.evalFree[n-1]
+	e.evalFree = e.evalFree[:n-1]
+	*ev = setEval{ops: ev.ops[:0], loads: ev.loads[:0], spills: ev.spills[:0]}
+	return ev
+}
+
+// enginePool recycles engines — and with them the scratchpad free
+// lists, signature buffers, and bookkeeping maps — across Schedule
+// calls. The search schedules tens of runs per tiling and thousands per
+// layer; per-worker reuse through the pool keeps the steady state out
+// of the allocator.
+var enginePool = sync.Pool{New: func() any { return &engine{} }}
+
 var errNoProgress = errors.New("sched: no feasible operation set (tiling too large for SPM?)")
+
+// ErrCutoff reports a run abandoned because its partial makespan
+// exceeded Config.CutoffCycles. It marks dominated work, not failure:
+// callers skip the schedule but must not treat the tiling as
+// infeasible.
+var ErrCutoff = errors.New("sched: schedule abandoned, partial makespan exceeds cutoff")
 
 // errAllCoresDead is defensive: Config.FaultPlan validation guarantees
 // a survivor, so BestNPU cannot run out of cores on a validated plan.
@@ -216,25 +293,9 @@ func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	mem := spm.New(cfg.Arch.SPMBytes, cfg.MemPolicy)
-	mem.SetInPlace(!cfg.DisableInPlace)
-	e := &engine{
-		cfg:     cfg,
-		gr:      gr,
-		mem:     mem,
-		remain:  gr.Uses(),
-		ready:   gr.InitialReady(),
-		opDone:  make([]int64, len(gr.Ops)),
-		writeAt: make(map[tile.ID]int64),
-		availAt: make(map[tile.ID]int64),
-		tl:      sim.New(cfg.Arch.Cores),
-		res:     &Result{Factors: gr.Grid.F},
-	}
-	e.tl.SetFaults(cfg.FaultPlan)
-	for k := range e.res.PerKind {
-		e.res.PerKind[k].MoveCounts = make(map[tile.ID]int)
-	}
-	e.rank = make([]int, len(gr.Ops))
+	e := enginePool.Get().(*engine)
+	defer e.recycle()
+	e.reset(gr, cfg)
 	if cfg.Hint != nil && cfg.Order == nil {
 		if err := validateOrder(gr, cfg.Hint); err != nil {
 			return nil, fmt.Errorf("sched: invalid hint: %w", err)
@@ -261,6 +322,9 @@ func Schedule(gr *dfg.Graph, cfg Config) (*Result, error) {
 		}
 		if err := e.apply(ev); err != nil {
 			return nil, err
+		}
+		if cfg.CutoffCycles > 0 && e.tl.Makespan() > cfg.CutoffCycles {
+			return nil, ErrCutoff
 		}
 	}
 	e.flush()
@@ -292,15 +356,87 @@ func validateOrder(gr *dfg.Graph, order []int) error {
 	return nil
 }
 
+// reset prepares a (possibly recycled) engine for one run. Everything
+// handed out through the Result — the Result itself, the timeline's
+// record slices, the MoveCounts maps — is freshly allocated; all other
+// state is reused in place.
+func (e *engine) reset(gr *dfg.Graph, cfg Config) {
+	e.cfg = cfg
+	e.gr = gr
+	if e.mem == nil {
+		e.mem = spm.New(cfg.Arch.SPMBytes, cfg.MemPolicy)
+	} else {
+		e.mem.Reset(cfg.Arch.SPMBytes, cfg.MemPolicy)
+	}
+	e.mem.SetInPlace(!cfg.DisableInPlace)
+	e.remain = gr.UsesInto(e.remain)
+	e.ready = gr.AppendInitialReady(e.ready[:0])
+	if cap(e.opDone) >= len(gr.Ops) {
+		e.opDone = e.opDone[:len(gr.Ops)]
+		for i := range e.opDone {
+			e.opDone[i] = 0
+		}
+	} else {
+		e.opDone = make([]int64, len(gr.Ops))
+	}
+	if e.writeAt == nil {
+		e.writeAt = make(map[tile.ID]int64)
+	} else {
+		clear(e.writeAt)
+	}
+	if e.availAt == nil {
+		e.availAt = make(map[tile.ID]int64)
+	} else {
+		clear(e.availAt)
+	}
+	if e.tl == nil {
+		e.tl = sim.New(cfg.Arch.Cores)
+	} else {
+		e.tl.Reset(cfg.Arch.Cores)
+	}
+	e.tl.Reserve(len(gr.Ops), len(gr.Ops))
+	e.tl.SetFaults(cfg.FaultPlan)
+	e.res = &Result{Factors: gr.Grid.F}
+	for k := range e.res.PerKind {
+		e.res.PerKind[k].MoveCounts = make(map[tile.ID]int)
+	}
+	if cap(e.rank) >= len(gr.Ops) {
+		e.rank = e.rank[:len(gr.Ops)]
+	} else {
+		e.rank = make([]int, len(gr.Ops))
+	}
+	e.pos = 0
+	e.nEval, e.nPruned, e.nDone = 0, 0, 0
+}
+
+// recycle returns the engine to the pool, dropping the references that
+// would otherwise pin the caller's graph and result in the pool.
+func (e *engine) recycle() {
+	e.gr = nil
+	e.res = nil
+	e.cfg = Config{}
+	enginePool.Put(e)
+}
+
 // remainUses adapts the remaining-access table for the spill heuristics.
 func (e *engine) remainUses(id tile.ID) int { return e.remain[id] }
 
+// tileRef counts one set's references to a distinct operand tile.
+type tileRef struct {
+	id tile.ID
+	n  int
+}
+
 // apply commits the chosen set: adopts the evaluated scratchpad state,
 // schedules the memory operations and compute ops on the timeline,
-// updates bookkeeping, and wakes up successors. It fails only when a
-// fault plan has killed every core an op could run on.
+// updates bookkeeping, and wakes up successors. It consumes ev (the
+// evaluation and the replaced scratchpad are recycled). It fails only
+// when a fault plan has killed every core an op could run on.
 func (e *engine) apply(ev *setEval) error {
+	e.spmFree = append(e.spmFree, e.mem)
 	e.mem = ev.mem
+	ev.mem = nil
+	defer e.releaseEval(ev)
 
 	// Memory operations on the shared DMA channel. Loads are issued
 	// first and gate the set's compute; write-backs of evicted dirty
@@ -335,7 +471,16 @@ func (e *engine) apply(ev *setEval) error {
 	// Compute operations, one per core, after the set's memory ops and
 	// their chain predecessors.
 	var setRec SetRecord
-	refs := make(map[tile.ID]int, 3*len(ev.ops))
+	e.refs = e.refs[:0]
+	addRef := func(id tile.ID) {
+		for i := range e.refs {
+			if e.refs[i].id == id {
+				e.refs[i].n++
+				return
+			}
+		}
+		e.refs = append(e.refs, tileRef{id: id, n: 1})
+	}
 	for _, opIdx := range ev.ops {
 		op := &e.gr.Ops[opIdx]
 		earliest := memEnd
@@ -366,32 +511,36 @@ func (e *engine) apply(ev *setEval) error {
 		e.remain[op.In]--
 		e.remain[op.Wt]--
 		e.remain[op.Out]--
-		refs[op.In]++
-		refs[op.Wt]++
+		addRef(op.In)
+		addRef(op.Wt)
 		if op.ReadsPsum {
-			refs[op.Out]++
+			addRef(op.Out)
 		}
 		if succ := e.gr.Succ(opIdx); succ >= 0 {
 			e.ready = append(e.ready, succ)
 		}
 		e.nDone++
 	}
-	for id, n := range refs {
-		if n >= 2 {
-			setRec.Shared[id.Kind] = true
+	for _, r := range e.refs {
+		if r.n >= 2 {
+			setRec.Shared[r.id.Kind] = true
 		}
 	}
 	setRec.Ops = append([]int(nil), ev.ops...)
 	e.res.Sets = append(e.res.Sets, setRec)
 
-	// Remove the issued ops from the ready list.
-	issued := make(map[int]bool, len(ev.ops))
-	for _, op := range ev.ops {
-		issued[op] = true
-	}
+	// Remove the issued ops from the ready list (a set holds at most
+	// #cores ops, so the scan is cheap).
 	kept := e.ready[:0]
 	for _, op := range e.ready {
-		if !issued[op] {
+		issued := false
+		for _, s := range ev.ops {
+			if s == op {
+				issued = true
+				break
+			}
+		}
+		if !issued {
 			kept = append(kept, op)
 		}
 	}

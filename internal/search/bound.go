@@ -1,0 +1,233 @@
+package search
+
+import (
+	"math"
+	"sync/atomic"
+
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// Bound is a provable lower bound on the cost of *any* schedule of one
+// tiling — out-of-order, static, or hinted, under any priority or
+// memory policy. Dominance pruning compares Bound.Score against the
+// actual score of an already-scheduled candidate (the incumbent): a
+// tiling whose bound already exceeds the incumbent cannot contain the
+// best schedule and is skipped without ever building its DFG.
+type Bound struct {
+	// Cycles is a latency floor: the maximum of the compute floor
+	// (total op cycles spread perfectly over all cores), the longest
+	// partial-sum chain plus its final write-back, and the serialized
+	// DMA floor (every input and weight tile loaded at least once,
+	// every output tile written back at least once, on one channel).
+	Cycles int64
+	// Traffic is a byte floor: the summed size of all distinct tiles
+	// (cold loads of IN and WT, one final write of each OT).
+	Traffic int64
+}
+
+// Score evaluates the metric at the bound. Because the metric is
+// monotone in latency and traffic (for non-negative exponents), this
+// never exceeds the metric score of any realizable schedule of the
+// tiling.
+func (b Bound) Score(m Metric) float64 { return m.Score(b.Cycles, b.Traffic) }
+
+// monotone reports whether the metric is non-decreasing in both
+// latency and traffic, the property dominance pruning relies on. The
+// zero metric means the paper's default (both exponents 1).
+func (m Metric) monotone() bool {
+	if m.LatExp == 0 && m.TrafficExp == 0 {
+		return true // zero value = default metric
+	}
+	return m.LatExp >= 0 && m.TrafficExp >= 0 &&
+		!math.IsNaN(m.LatExp) && !math.IsNaN(m.TrafficExp)
+}
+
+// LowerBound computes the dominance-pruning bound for one tiling of a
+// layer. It runs in time linear in the tile counts (no DFG, no
+// scheduling), which is orders of magnitude cheaper than evaluating
+// the candidate.
+//
+// The three latency floors hold for every schedule the engine can
+// produce:
+//
+//   - compute floor: ops never overlap on one core, so the makespan is
+//     at least the summed op cycles divided by the core count;
+//   - chain floor: the accumulation steps of one output tile are
+//     serialized by true dependencies, and the finished tile must
+//     still be written off-chip after the last step;
+//   - DMA floor: every IN/WT tile is loaded at least once and every
+//     OT tile written back at least once, and all transfers serialize
+//     on the single DMA channel.
+//
+// The traffic floor is the byte sum of the same minimal transfer set.
+func LowerBound(g *tile.Grid, m model.Model, cores int) Bound {
+	taps := int64(g.Layer.KerH) * int64(g.Layer.KerW)
+	fill := m.FillCycles()
+
+	// Per-dimension pass counts (utilization-rounded, exactly as
+	// model.ConvCycles computes them).
+	var sumIcPasses int64
+	for ic := 0; ic < g.NIC; ic++ {
+		_, _, _, ichs := g.OpDims(0, 0, 0, ic)
+		sumIcPasses += int64(ceilDiv(ichs, m.PERows()))
+	}
+	var sumOcPasses int64
+	ocPasses := make([]int64, g.NOC)
+	for oc := 0; oc < g.NOC; oc++ {
+		_, _, ochs, _ := g.OpDims(0, 0, oc, 0)
+		ocPasses[oc] = int64(ceilDiv(ochs, m.PECols()))
+		sumOcPasses += ocPasses[oc]
+	}
+
+	// Total compute cycles factorize over the four block dimensions:
+	// sum over (oh,ow) of rows*cols is exactly OutH*OutW.
+	numOps := int64(g.NumOps())
+	spatialSum := int64(g.OutH) * int64(g.OutW)
+	totalCompute := taps*spatialSum*sumOcPasses*sumIcPasses + numOps*fill
+	computeFloor := (totalCompute + int64(cores) - 1) / int64(cores)
+
+	// DMA and traffic floors over the distinct tiles, plus the longest
+	// chain (compute of one output tile's accumulation steps, which a
+	// single chain serializes, followed by its mandatory write-back).
+	var dmaFloor, traffic int64
+	for oh := 0; oh < g.NOH; oh++ {
+		for ow := 0; ow < g.NOW; ow++ {
+			for ic := 0; ic < g.NIC; ic++ {
+				sz := g.Size(g.InTile(oh, ow, ic))
+				traffic += sz
+				dmaFloor += m.TransferCycles(sz)
+			}
+		}
+	}
+	for oc := 0; oc < g.NOC; oc++ {
+		for ic := 0; ic < g.NIC; ic++ {
+			sz := g.Size(g.WtTile(oc, ic))
+			traffic += sz
+			dmaFloor += m.TransferCycles(sz)
+		}
+	}
+	var chainFloor int64
+	for oh := 0; oh < g.NOH; oh++ {
+		for ow := 0; ow < g.NOW; ow++ {
+			rows, cols, _, _ := g.OpDims(oh, ow, 0, 0)
+			spatial := int64(rows) * int64(cols)
+			for oc := 0; oc < g.NOC; oc++ {
+				sz := g.Size(g.OutTile(oh, ow, oc))
+				traffic += sz
+				wb := m.TransferCycles(sz)
+				dmaFloor += wb
+				chain := taps*spatial*ocPasses[oc]*sumIcPasses +
+					int64(g.NIC)*fill + wb
+				if chain > chainFloor {
+					chainFloor = chain
+				}
+			}
+		}
+	}
+
+	cycles := computeFloor
+	if chainFloor > cycles {
+		cycles = chainFloor
+	}
+	if dmaFloor > cycles {
+		cycles = dmaFloor
+	}
+	return Bound{Cycles: cycles, Traffic: traffic}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// incumbent tracks the best actual metric score observed so far across
+// the worker pool of one layer search, as an atomically-updated
+// float64. The zero value means "no incumbent yet" (+Inf).
+type incumbent struct {
+	bits atomic.Uint64
+}
+
+func (in *incumbent) value() float64 {
+	b := in.bits.Load()
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return math.Float64frombits(b)
+}
+
+// observe lowers the incumbent to s if s is smaller. Safe for
+// concurrent use; lock-free CAS min.
+func (in *incumbent) observe(s float64) {
+	if math.IsNaN(s) {
+		return
+	}
+	nb := math.Float64bits(s)
+	if nb == 0 {
+		nb = math.Float64bits(math.SmallestNonzeroFloat64)
+	}
+	for {
+		ob := in.bits.Load()
+		if ob != 0 && math.Float64frombits(ob) <= s {
+			return
+		}
+		if in.bits.CompareAndSwap(ob, nb) {
+			return
+		}
+	}
+}
+
+// incumbents pairs the OoO and static score incumbents of one layer
+// search. A tiling is dominated only when its bound exceeds *both*:
+// the bound holds for any schedule of the tiling, so a tiling that
+// could still improve the static baseline must not be skipped even if
+// it cannot beat the OoO incumbent (and vice versa).
+type incumbents struct {
+	ooo    incumbent
+	static incumbent
+}
+
+// dominated reports whether a tiling with the given bound is provably
+// incapable of improving either best schedule. Strictly-greater is
+// required: a bound equal to an incumbent could still realize an
+// equal-score schedule, and equal scores keep their pre-pruning
+// tie-break, so they are never skipped.
+func (in *incumbents) dominated(b Bound, m Metric) bool {
+	s := b.Score(m)
+	return s > in.ooo.value() && s > in.static.value()
+}
+
+// cutoffLatency converts a target metric score into the largest
+// latency an aspiring schedule may reach given a traffic floor:
+// schedules whose partial makespan already exceeds the returned value
+// are provably worse than the target and can be aborted mid-run
+// (sched.Config.CutoffCycles). Returns 0 (no cutoff) when the target
+// is +Inf, the metric is not invertible in latency (LatExp <= 0), or
+// the bound is degenerate.
+func cutoffLatency(m Metric, target float64, trafficFloor int64) int64 {
+	if math.IsInf(target, 1) || target <= 0 || trafficFloor <= 0 {
+		return 0
+	}
+	eff := m
+	if eff.LatExp == 0 && eff.TrafficExp == 0 {
+		eff = MetricDefault()
+	}
+	if eff.LatExp <= 0 {
+		return 0
+	}
+	lat := math.Pow(target/math.Pow(float64(trafficFloor), eff.TrafficExp), 1/eff.LatExp)
+	if math.IsNaN(lat) || lat <= 0 {
+		return 0
+	}
+	if lat > math.MaxInt64/4 {
+		return 0 // no effective cutoff; avoid overflow
+	}
+	c := int64(lat)
+	// Float round-trip safety: widen until c+1 is provably worse than
+	// the target, shrink while c itself already is. The abort test is
+	// "makespan > c", so correctness needs Score(c+1) > target.
+	for c > 0 && m.Score(c, trafficFloor) > target {
+		c--
+	}
+	for m.Score(c+1, trafficFloor) <= target {
+		c++
+	}
+	return c
+}

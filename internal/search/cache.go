@@ -273,11 +273,11 @@ func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""
 	b := opts.Budget
-	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v|%d:%d:%d:%d:%d|%s",
+	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v%v|%d:%d:%d:%d:%d|%s",
 		shape,
 		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
 		opts.Metric, opts.Priority, opts.MemPolicy, dataflowsKey(b.Dataflows),
-		opts.DisableInPlace, opts.DisablePruning, b.HintedOoO,
+		opts.DisableInPlace, opts.DisablePruning, opts.DisableDominance, b.HintedOoO,
 		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets,
 		faultKey(opts.FaultPlan))
 }

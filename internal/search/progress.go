@@ -16,6 +16,10 @@ type ProgressEvent struct {
 	// tilings count as done, so Done always reaches Total.
 	CandidatesDone  int
 	CandidatesTotal int
+	// CandidatesPruned counts the tilings skipped so far by dominance
+	// pruning: their lower bound already exceeded the incumbent best, so
+	// they were never scheduled. Pruned tilings count as done.
+	CandidatesPruned int
 	// BestScore is the lowest metric score across the OoO schedules
 	// completed so far (0 until the first feasible candidate).
 	BestScore float64
@@ -43,13 +47,14 @@ type ProgressFunc func(ProgressEvent)
 // search: it tracks candidates done and the best score so far, and
 // invokes the callback under its lock so counters arrive monotonic.
 type progressReporter struct {
-	mu    sync.Mutex
-	fn    ProgressFunc
-	layer string
-	total int
-	done  int
-	best  float64
-	has   bool
+	mu     sync.Mutex
+	fn     ProgressFunc
+	layer  string
+	total  int
+	done   int
+	pruned int
+	best   float64
+	has    bool
 }
 
 // newProgressReporter returns a reporter for one layer search, or nil
@@ -74,9 +79,29 @@ func (p *progressReporter) candidateDone(score float64, ok bool) {
 		p.best, p.has = score, true
 	}
 	p.fn(ProgressEvent{
-		Layer:           p.layer,
-		CandidatesDone:  p.done,
-		CandidatesTotal: p.total,
-		BestScore:       p.best,
+		Layer:            p.layer,
+		CandidatesDone:   p.done,
+		CandidatesTotal:  p.total,
+		CandidatesPruned: p.pruned,
+		BestScore:        p.best,
+	})
+}
+
+// candidatePruned records one tiling skipped by dominance pruning and
+// reports progress; pruned tilings count as done so Done reaches Total.
+func (p *progressReporter) candidatePruned() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.pruned++
+	p.fn(ProgressEvent{
+		Layer:            p.layer,
+		CandidatesDone:   p.done,
+		CandidatesTotal:  p.total,
+		CandidatesPruned: p.pruned,
+		BestScore:        p.best,
 	})
 }

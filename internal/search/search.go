@@ -14,9 +14,11 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -98,6 +100,15 @@ type Options struct {
 	// DisableInPlace / DisablePruning switch off the corresponding
 	// scheduler optimizations (ablations).
 	DisableInPlace, DisablePruning bool
+	// DisableDominance switches off dominance pruning: the search then
+	// schedules every enumerated tiling to completion instead of
+	// skipping candidates whose lower bound (LowerBound) already
+	// exceeds the incumbent best. Pruning never changes BestOoO or
+	// BestStatic — it only skips provably-worse work — but it does
+	// shrink Candidates to the non-dominated survivors, so callers
+	// that sweep the full tiling space (Figure 1 scatter plots, the
+	// layersweep example) set this.
+	DisableDominance bool
 	// Workers is the parallelism of the search (0 = GOMAXPROCS).
 	Workers int
 	// Cache, when non-nil, memoizes layer results across calls.
@@ -143,11 +154,26 @@ type Candidate struct {
 	StaticOrder loop.Dataflow
 }
 
-// LayerResult is the outcome of searching one layer: all per-tiling
+// LayerResult is the outcome of searching one layer: the per-tiling
 // candidates plus the best OoO and best static schedules overall.
+//
+// With dominance pruning active (the default), Candidates holds only
+// the candidates that were actually scheduled: tilings whose lower
+// bound exceeded the incumbent are skipped entirely, and a surviving
+// candidate's Static may be nil when every static run for it was
+// abandoned as dominated. BestOoO, BestStatic and BestStaticOrder are
+// identical with and without pruning. Set Options.DisableDominance to
+// recover the exhaustive candidate list.
 type LayerResult struct {
 	Layer      layer.Conv
 	Candidates []Candidate
+	// CandidatesEnumerated / CandidatesPruned / SchedulesAborted count
+	// search effort: tilings enumerated, tilings skipped by dominance
+	// pruning before scheduling, and individual schedule runs
+	// abandoned mid-way by the incumbent cutoff.
+	CandidatesEnumerated int
+	CandidatesPruned     int
+	SchedulesAborted     int
 	// BestOoO and BestStatic minimize the metric across tilings (and,
 	// for the static baseline, dataflows).
 	BestOoO         *sched.Result
@@ -220,14 +246,39 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 	m := model.New(opts.Arch)
 	reporter := newProgressReporter(opts.Progress, l.Name, len(tilings))
 
+	// Dominance pruning: bound every tiling up front (linear in tile
+	// counts, no DFG), then schedule candidates in ascending-bound
+	// order so the incumbent becomes competitive as early as possible.
+	// Results stay indexed by the original enumeration position, so
+	// the final reduction — and therefore every tie-break — is
+	// identical to the exhaustive search.
+	pruning := !opts.DisableDominance && opts.Metric.monotone()
+	bounds := make([]Bound, len(tilings))
+	for i, f := range tilings {
+		if g, err := tile.NewGrid(l, f); err == nil {
+			bounds[i] = LowerBound(g, m, opts.Arch.Cores)
+		}
+	}
+	order := make([]int, len(tilings))
+	for i := range order {
+		order[i] = i
+	}
+	if pruning {
+		sort.SliceStable(order, func(a, b int) bool {
+			return bounds[order[a]].Score(opts.Metric) < bounds[order[b]].Score(opts.Metric)
+		})
+	}
+	inc := &incumbents{}
+
 	results := make([]Candidate, len(tilings))
 	errs := make([]error, len(tilings))
+	aborted := make([]int, len(tilings))
 	var wg sync.WaitGroup
 	sem := opts.sem
 	if sem == nil {
 		sem = make(chan struct{}, opts.workers())
 	}
-	for i, f := range tilings {
+	for _, i := range order {
 		wg.Add(1)
 		go func(i int, f tile.Factors) {
 			defer wg.Done()
@@ -242,23 +293,47 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 				errs[i] = err
 				return
 			}
-			results[i], errs[i] = scheduleTiling(ctx, l, f, m, dataflows, opts)
+			if pruning && inc.dominated(bounds[i], opts.Metric) {
+				errs[i] = errDominated
+				reporter.candidatePruned()
+				return
+			}
+			var cutoffs *tilingCutoffs
+			if pruning {
+				cutoffs = &tilingCutoffs{inc: inc, traffic: bounds[i].Traffic}
+			}
+			results[i], aborted[i], errs[i] = scheduleTiling(ctx, l, f, m, dataflows, opts, cutoffs)
 			if errs[i] == nil {
 				c := results[i]
-				reporter.candidateDone(opts.Metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()), true)
+				if c.OoO != nil {
+					inc.ooo.observe(opts.Metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()))
+				}
+				if c.Static != nil {
+					inc.static.observe(opts.Metric.Score(c.Static.LatencyCycles, c.Static.TrafficBytes()))
+				}
+				if c.OoO != nil {
+					reporter.candidateDone(opts.Metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()), true)
+				} else {
+					reporter.candidateDone(0, false)
+				}
 			} else if !isCancellation(errs[i]) {
 				reporter.candidateDone(0, false)
 			}
-		}(i, f)
+		}(i, tilings[i])
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	lr := &LayerResult{Layer: l}
+	lr := &LayerResult{Layer: l, CandidatesEnumerated: len(tilings)}
 	metric := opts.Metric
 	for i := range results {
+		lr.SchedulesAborted += aborted[i]
+		if errs[i] == errDominated {
+			lr.CandidatesPruned++
+			continue
+		}
 		if errs[i] != nil {
 			// A tiling that cannot be scheduled (SPM too fragmented for
 			// its op footprint) is skipped, like infeasible tilings in
@@ -266,9 +341,12 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 			continue
 		}
 		c := results[i]
-		lr.Candidates = append(lr.Candidates, c)
-		if lr.BestOoO == nil || metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()) <
-			metric.Score(lr.BestOoO.LatencyCycles, lr.BestOoO.TrafficBytes()) {
+		if c.OoO != nil {
+			lr.Candidates = append(lr.Candidates, c)
+		}
+		if c.OoO != nil && (lr.BestOoO == nil ||
+			metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()) <
+				metric.Score(lr.BestOoO.LatencyCycles, lr.BestOoO.TrafficBytes())) {
 			lr.BestOoO = c.OoO
 		}
 		if c.Static != nil && (lr.BestStatic == nil ||
@@ -347,13 +425,42 @@ func enumerateWithEscalation(l layer.Conv, cfg arch.Config, b Budget) []tile.Fac
 // weight-stationary flows, which cover the three sharing patterns).
 const maxOoOHints = 3
 
+// errDominated marks a tiling skipped by dominance pruning (or one
+// whose every schedule run was abandoned as dominated): not a failure,
+// just provably-worse work the search did not perform.
+var errDominated = errors.New("search: tiling dominated by incumbent")
+
+// tilingCutoffs carries the shared incumbents and one tiling's traffic
+// floor into scheduleTiling, so each schedule run can derive the
+// latency at which it becomes provably worse than the incumbent and
+// abort early (sched.Config.CutoffCycles). nil disables cutoffs.
+type tilingCutoffs struct {
+	inc     *incumbents
+	traffic int64
+}
+
+// forTarget converts a target metric score into an abort latency for
+// one run of this tiling, or 0 (no cutoff) when tc is nil or the
+// target is not yet set.
+func (tc *tilingCutoffs) forTarget(m Metric, target float64) int64 {
+	if tc == nil {
+		return 0
+	}
+	return cutoffLatency(m, target, tc.traffic)
+}
+
 // scheduleTiling produces the OoO schedule and the best static schedule
 // for one tiling. It aborts between dataflow evaluations when ctx is
-// cancelled.
-func scheduleTiling(ctx context.Context, l layer.Conv, f tile.Factors, m model.Model, dataflows []loop.Dataflow, opts Options) (Candidate, error) {
+// cancelled. With cutoffs installed, individual runs whose partial
+// makespan proves them worse than the incumbent are abandoned; aborted
+// counts them. A candidate may then come back with a nil Static (every
+// static run dominated) or nil OoO (the unhinted run dominated while a
+// later hinted run was not attempted or also dominated); a candidate
+// with neither is reported as errDominated.
+func scheduleTiling(ctx context.Context, l layer.Conv, f tile.Factors, m model.Model, dataflows []loop.Dataflow, opts Options, tc *tilingCutoffs) (Candidate, int, error) {
 	grid, err := tile.NewGrid(l, f)
 	if err != nil {
-		return Candidate{}, err
+		return Candidate{}, 0, err
 	}
 	graph := dfg.Build(grid, m)
 	base := sched.Config{
@@ -366,43 +473,89 @@ func scheduleTiling(ctx context.Context, l layer.Conv, f tile.Factors, m model.M
 		MaxReadyWindow:   opts.Budget.MaxReadyWindow,
 		MaxCandidateSets: opts.Budget.MaxCandidateSets,
 	}
-	c := Candidate{Factors: f}
-	ooo, err := sched.Schedule(graph, base)
-	if err != nil {
-		return Candidate{}, err
-	}
-	c.OoO = ooo
 	metric := opts.Metric
+	aborted := 0
+	c := Candidate{Factors: f}
+
+	ocfg := base
+	if tc != nil {
+		ocfg.CutoffCycles = tc.forTarget(metric, tc.inc.ooo.value())
+	}
+	ooo, err := sched.Schedule(graph, ocfg)
+	switch {
+	case err == nil:
+		c.OoO = ooo
+	case errors.Is(err, sched.ErrCutoff):
+		aborted++
+	default:
+		return Candidate{}, aborted, err
+	}
+
 	for i, df := range dataflows {
 		if err := ctx.Err(); err != nil {
-			return Candidate{}, err
+			return Candidate{}, aborted, err
 		}
 		order := loop.Order(graph, df)
 		cfg := base
 		cfg.Order = order
-		res, err := sched.Schedule(graph, cfg)
-		if err != nil {
-			continue
+		// A static run that cannot strictly beat the static incumbent
+		// can never become BestStatic; its own candidate-local best is
+		// then irrelevant too, because the whole candidate is already
+		// dominated on the static axis.
+		if tc != nil {
+			cfg.CutoffCycles = tc.forTarget(metric, tc.inc.static.value())
 		}
-		if c.Static == nil || metric.Score(res.LatencyCycles, res.TrafficBytes()) <
-			metric.Score(c.Static.LatencyCycles, c.Static.TrafficBytes()) {
-			c.Static = res
-			c.StaticOrder = df
+		res, err := cutoffRun(graph, cfg, &aborted)
+		if err == nil {
+			if c.Static == nil || metric.Score(res.LatencyCycles, res.TrafficBytes()) <
+				metric.Score(c.Static.LatencyCycles, c.Static.TrafficBytes()) {
+				c.Static = res
+				c.StaticOrder = df
+			}
 		}
 		if opts.Budget.HintedOoO && i < maxOoOHints {
 			hcfg := base
 			hcfg.Hint = order
-			if h, err := sched.Schedule(graph, hcfg); err == nil &&
-				metric.Score(h.LatencyCycles, h.TrafficBytes()) <
-					metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()) {
+			if tc != nil {
+				// A hinted run must strictly beat both the global OoO
+				// incumbent and this candidate's own current OoO to
+				// matter, so the tighter of the two bounds it.
+				target := tc.inc.ooo.value()
+				if c.OoO != nil {
+					if s := metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes()); s < target {
+						target = s
+					}
+				}
+				hcfg.CutoffCycles = tc.forTarget(metric, target)
+			}
+			if h, err := cutoffRun(graph, hcfg, &aborted); err == nil &&
+				(c.OoO == nil || metric.Score(h.LatencyCycles, h.TrafficBytes()) <
+					metric.Score(c.OoO.LatencyCycles, c.OoO.TrafficBytes())) {
 				c.OoO = h
 			}
 		}
 	}
-	if c.Static == nil {
-		return Candidate{}, fmt.Errorf("search: no static schedule for tiling %s", f)
+	if c.OoO == nil && c.Static == nil {
+		if aborted > 0 {
+			return Candidate{}, aborted, errDominated
+		}
+		return Candidate{}, aborted, fmt.Errorf("search: no static schedule for tiling %s", f)
 	}
-	return c, nil
+	if c.Static == nil && aborted == 0 {
+		return Candidate{}, aborted, fmt.Errorf("search: no static schedule for tiling %s", f)
+	}
+	return c, aborted, nil
+}
+
+// cutoffRun schedules under cfg, folding a cutoff abort into the
+// aborted counter and returning ErrCutoff to the caller as a plain
+// skip.
+func cutoffRun(graph *dfg.Graph, cfg sched.Config, aborted *int) (*sched.Result, error) {
+	res, err := sched.Schedule(graph, cfg)
+	if err != nil && errors.Is(err, sched.ErrCutoff) {
+		*aborted++
+	}
+	return res, err
 }
 
 // NetworkResult aggregates per-layer results end to end.

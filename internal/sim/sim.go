@@ -86,6 +86,46 @@ func NewAt(npuFree []int64, dmaFree int64) *Timeline {
 	return t
 }
 
+// Reset returns t to an empty timeline for the given core count,
+// reusing the per-core availability slice. The record slices are
+// dropped, not truncated: callers own them once handed out via
+// Ops()/Mems(), so a reused timeline must start fresh ones (Reserve
+// pre-sizes them).
+func (t *Timeline) Reset(cores int) {
+	if cores <= 0 {
+		panic(fmt.Sprintf("sim: cores must be positive, got %d", cores))
+	}
+	if cap(t.npuFree) >= cores {
+		t.npuFree = t.npuFree[:cores]
+		for i := range t.npuFree {
+			t.npuFree[i] = 0
+		}
+	} else {
+		t.npuFree = make([]int64, cores)
+	}
+	t.dmaFree = 0
+	t.ops = nil
+	t.mems = nil
+	t.faults = nil
+}
+
+// Reserve pre-sizes the record storage for at least ops compute records
+// and mems DMA records beyond those already scheduled, eliminating the
+// append-growth reallocations of a run whose op count is known up
+// front.
+func (t *Timeline) Reserve(ops, mems int) {
+	if n := len(t.ops) + ops; n > cap(t.ops) {
+		grown := make([]OpRecord, len(t.ops), n)
+		copy(grown, t.ops)
+		t.ops = grown
+	}
+	if n := len(t.mems) + mems; n > cap(t.mems) {
+		grown := make([]MemRecord, len(t.mems), n)
+		copy(grown, t.mems)
+		t.mems = grown
+	}
+}
+
 // SetFaults injects a fault plan: dead cores refuse new ops from their
 // death cycle (BestNPU skips them), flaky cores stretch ops starting in
 // their windows, and DMA transfers starting in a derate window take

@@ -77,6 +77,9 @@ type SPM struct {
 	used    int64
 	policy  Policy
 	inPlace bool
+	// evScratch backs the eviction lists returned by Allocate, reused
+	// across calls so the hot allocation path stays off the heap.
+	evScratch []Eviction
 }
 
 // New returns an empty scratchpad of the given capacity using the given
@@ -112,6 +115,47 @@ func (s *SPM) Clone() *SPM {
 		c.index[k] = v
 	}
 	return c
+}
+
+// CloneInto overwrites dst with a deep copy of s, reusing dst's region
+// slice and index map instead of allocating fresh ones. The scheduler's
+// candidate-set evaluation clones the scratchpad once per candidate;
+// recycling retired clones through CloneInto removes the dominant
+// allocation site of a search. dst must not be s. Returns dst.
+func (s *SPM) CloneInto(dst *SPM) *SPM {
+	dst.cap = s.cap
+	dst.regs = append(dst.regs[:0], s.regs...)
+	if dst.index == nil {
+		dst.index = make(map[tile.ID]int64, len(s.index))
+	} else {
+		clear(dst.index)
+	}
+	for k, v := range s.index {
+		dst.index[k] = v
+	}
+	dst.used = s.used
+	dst.policy = s.policy
+	dst.inPlace = s.inPlace
+	return dst
+}
+
+// Reset returns s to an empty scratchpad of the given capacity and
+// policy, reusing its storage. In-place replacement is re-enabled, as
+// after New.
+func (s *SPM) Reset(capacity int64, policy Policy) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("spm: capacity must be positive, got %d", capacity))
+	}
+	s.cap = capacity
+	s.regs = append(s.regs[:0], region{addr: 0, size: capacity})
+	if s.index == nil {
+		s.index = make(map[tile.ID]int64)
+	} else {
+		clear(s.index)
+	}
+	s.used = 0
+	s.policy = policy
+	s.inPlace = true
 }
 
 // Capacity returns the scratchpad size in bytes.
@@ -293,7 +337,9 @@ func (e *ErrNoSpace) Error() string {
 // It returns the evictions performed to make room. If the tile is
 // already present it is pinned and no work is done. The remainUses
 // function supplies the remaining-use count of resident tiles for the
-// spill heuristics; it must not be nil.
+// spill heuristics; it must not be nil. The returned slice is scratch
+// owned by the SPM, valid only until the next Allocate call; callers
+// that keep evictions must copy them out.
 func (s *SPM) Allocate(id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("spm: allocation size must be positive, got %d for %v", size, id)
@@ -325,7 +371,8 @@ func (s *SPM) Allocate(id tile.ID, size int64, remainUses func(tile.ID) int) ([]
 		if best >= 0 {
 			ev := s.evictAt(best, remainUses)
 			s.place(best, id, size)
-			return []Eviction{ev}, nil
+			s.evScratch = append(s.evScratch[:0], ev)
+			return s.evScratch, nil
 		}
 	}
 
@@ -495,12 +542,13 @@ func (s *SPM) findFirstFitRun(size int64) (run, bool) {
 // at its start.
 func (s *SPM) evictRunAndPlace(w run, id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
 	startAddr := s.regs[w.lo].addr
-	var evs []Eviction
+	evs := s.evScratch[:0]
 	for i := w.lo; i <= w.hi; i++ {
 		if s.regs[i].alloc {
 			evs = append(evs, s.evictAt(i, remainUses))
 		}
 	}
+	s.evScratch = evs
 	s.coalesceAround(w.lo)
 	// Coalescing may have absorbed free neighbours before the window;
 	// locate the free region containing the window's start address.
@@ -517,7 +565,8 @@ func (s *SPM) evictRunAndPlace(w run, id tile.ID, size int64, remainUses func(ti
 // allocateSmallestFirst is MemPolicy2: repeatedly evict the smallest
 // unpinned block until a free region large enough exists.
 func (s *SPM) allocateSmallestFirst(id tile.ID, size int64, remainUses func(tile.ID) int) ([]Eviction, error) {
-	var evs []Eviction
+	evs := s.evScratch[:0]
+	defer func() { s.evScratch = evs }()
 	for {
 		// A free region may have become large enough.
 		best := -1
