@@ -6,7 +6,7 @@ GO ?= go
 # Combined statement coverage required of internal/serve + internal/search.
 COVER_MIN ?= 70
 
-.PHONY: check build vet test test-short bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
+.PHONY: check build vet test test-short fairness bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
 
 # The committed benchmark record the regression guard compares against.
 BENCH_BASELINE ?= BENCH_0006.json
@@ -25,6 +25,17 @@ test:
 # Faster inner-loop variant (skips the slower network-level tests).
 test-short:
 	$(GO) test -short ./...
+
+# The multi-tenant admission suite on its own: weighted-fairness
+# convergence, priority overtaking, candidate-boundary preemption and
+# the preempt-requeue determinism property. All of these also run as
+# part of `make check` via `go test -race ./...`.
+fairness:
+	$(GO) test -race -v \
+		-run 'TestWeightedFairness|TestInteractiveOvertakesBatch|TestPreemption|TestGrantOrderIsFIFO|TestQuota' \
+		./internal/serve/admission/
+	$(GO) test -race -v -run 'TestPreemptedRequeueIsBitIdentical' ./internal/search/
+	$(GO) test -race -v -run 'TestStreamPreemptionEndToEnd|TestPerTenant429State' ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -84,8 +95,10 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Gate: combined statement coverage of internal/serve + internal/search
-# must be at least COVER_MIN percent. Run `make cover` first (CI runs
-# both; this target depends on cover.out existing).
+# must be at least COVER_MIN percent; the path pattern matches every
+# package under those trees, so internal/serve/admission is gated too.
+# Run `make cover` first (CI runs both; this target depends on
+# cover.out existing).
 cover-check: cover
 	@awk ' \
 		NR > 1 && $$1 ~ /internal\/(serve|search)\// { \

@@ -8,6 +8,7 @@
 //	flexerd -addr :9000 -workers 4 -cache-size 8192
 //	flexerd -timeout 30s -max-timeout 5m -pprof
 //	flexerd -cache-file /var/lib/flexer/cache.gob -queue-depth 64
+//	flexerd -tenant prod:3 -tenant scans:1:2:batch -default-tenant prod
 //
 // Endpoints (see docs/API.md for bodies and examples):
 //
@@ -19,10 +20,18 @@
 //	GET  /debug/vars           metrics (expvar JSON)
 //	GET  /debug/pprof/         profiling (with -pprof)
 //
-// When the schedule queue exceeds -queue-depth, further schedule
-// requests are shed with 429 and a Retry-After estimate instead of
-// camping on the worker pool until their deadline. Concurrent
-// identical requests coalesce into one underlying search.
+// Admission is multi-tenant: requests name a tenant via their "tenant"
+// body field or X-Flexer-Tenant header and queue per tenant, with
+// worker slots granted by weighted fairness in served search-seconds.
+// -tenant name:weight[:quota[:tier]] (repeatable) configures weights,
+// concurrency quotas and a forced tier (auto, interactive or batch);
+// unlisted tenants get weight 1. Single-layer requests run at the
+// interactive tier and preempt running network sweeps at candidate
+// boundaries; preempted sweeps requeue and restart transparently.
+// When a tenant's queue exceeds -queue-depth, its further schedule
+// requests are shed with 429, a Retry-After estimate and the tenant's
+// queue position. Concurrent identical requests coalesce into one
+// underlying search.
 //
 // With -cache-file, the result cache is loaded on boot and snapshotted
 // atomically every -cache-snapshot-interval and on shutdown, so a
@@ -42,12 +51,68 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/serve"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
 )
+
+// tenantFlags collects repeated -tenant flags, each of the form
+// name:weight[:quota[:tier]] with tier one of auto, interactive or
+// batch.
+type tenantFlags struct {
+	tenants []admission.TenantConfig
+}
+
+// String renders the configured tenants back into flag syntax.
+func (t *tenantFlags) String() string {
+	var parts []string
+	for _, tc := range t.tenants {
+		p := fmt.Sprintf("%s:%g", tc.Name, tc.Weight)
+		if tc.Quota > 0 || tc.Tier != admission.TierAuto {
+			p += fmt.Sprintf(":%d", tc.Quota)
+		}
+		if tc.Tier != admission.TierAuto {
+			p += ":" + tc.Tier.String()
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one -tenant value.
+func (t *tenantFlags) Set(v string) error {
+	fields := strings.Split(v, ":")
+	if len(fields) < 2 || len(fields) > 4 || fields[0] == "" {
+		return fmt.Errorf("want name:weight[:quota[:tier]], got %q", v)
+	}
+	tc := admission.TenantConfig{Name: fields[0]}
+	w, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil || w <= 0 {
+		return fmt.Errorf("tenant %s: weight must be a positive number, got %q", fields[0], fields[1])
+	}
+	tc.Weight = w
+	if len(fields) >= 3 {
+		q, err := strconv.Atoi(fields[2])
+		if err != nil || q < 0 {
+			return fmt.Errorf("tenant %s: quota must be a non-negative integer, got %q", fields[0], fields[2])
+		}
+		tc.Quota = q
+	}
+	if len(fields) == 4 {
+		tier, err := admission.ParseTier(fields[3])
+		if err != nil {
+			return fmt.Errorf("tenant %s: %v", fields[0], err)
+		}
+		tc.Tier = tier
+	}
+	t.tenants = append(t.tenants, tc)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -67,6 +132,9 @@ func run() error {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request search timeout")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested timeouts")
 	enablePprof := flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "tenant config name:weight[:quota[:tier]] (repeatable; tier = auto|interactive|batch)")
+	defaultTenant := flag.String("default-tenant", "", `tenant billed for requests that name none (empty = "default")`)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "flexerd ", log.LstdFlags)
@@ -78,6 +146,8 @@ func run() error {
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		EnablePprof:       *enablePprof,
+		Tenants:           tenants.tenants,
+		DefaultTenant:     *defaultTenant,
 		Log:               logger,
 	})
 

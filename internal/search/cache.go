@@ -228,11 +228,14 @@ func (c *Cache) layer(ctx context.Context, l layer.Conv, opts Options) (*LayerRe
 	}
 }
 
-// isCancellation reports whether err is the caller's context ending,
-// as opposed to a real search failure (infeasible layer, invalid
-// shape). Only the former may forget a cache entry.
+// isCancellation reports whether err is the caller's context ending or
+// a check-in yield (preemption), as opposed to a real search failure
+// (infeasible layer, invalid shape). Only the former may forget a
+// cache entry: a preempted leader's waiters then retry as new leaders,
+// so a requeued search recomputes instead of inheriting the abort.
 func isCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrYield)
 }
 
 // finishLookup unwraps a completed entry for one caller, shallow-copying
@@ -266,9 +269,9 @@ func (s *cacheShard) complete(c *Cache, e *cacheEntry) {
 // baseline dataflow, not just their count), arch, priority, memory
 // policy and the ablation switches — so two requests differing in any
 // of them are never coalesced onto one search. Fields that cannot
-// change the result (Workers, Cache, CacheMisses, Progress) are
-// deliberately excluded so requests differing only in plumbing share
-// one search.
+// change the result (Workers, Cache, CacheMisses, Progress, CheckIn)
+// are deliberately excluded so requests differing only in plumbing
+// share one search.
 func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""

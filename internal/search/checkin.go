@@ -1,0 +1,48 @@
+package search
+
+import "errors"
+
+// ErrYield marks a search aborted by its CheckIn callback rather than
+// by its context or an infeasible layer. Callers that requeue
+// preempted work (internal/serve's admission scheduler) match it with
+// errors.Is; the cache treats it like a cancellation and forgets the
+// in-flight entry, so the requeued run — and any coalesced waiters —
+// recompute from scratch and the final result is identical to an
+// uninterrupted search.
+var ErrYield = errors.New("search: aborted by check-in")
+
+// CheckInFunc is the cooperative yield point of a search. The search
+// calls it at every candidate boundary — before scheduling each
+// enumerated tiling, the same safe point dominance pruning tests — and
+// aborts with an error wrapping both ErrYield and the callback's error
+// when it returns non-nil. A CheckInFunc may also block to pause the
+// search in place (the caller keeps whatever slot it holds).
+//
+// Like ProgressFunc it is invoked from multiple worker goroutines
+// concurrently and must be safe for concurrent use and fast on the
+// nil-error path: it sits upstream of the pruning hot loop.
+type CheckInFunc func() error
+
+// checkIn consults the options' CheckIn callback, wrapping a non-nil
+// error so it matches both ErrYield and the original cause.
+func (o *Options) checkIn() error {
+	if o.CheckIn == nil {
+		return nil
+	}
+	if err := o.CheckIn(); err != nil {
+		return &yieldError{cause: err}
+	}
+	return nil
+}
+
+// yieldError carries the CheckIn callback's error while also matching
+// ErrYield, via the multi-error Unwrap form.
+type yieldError struct{ cause error }
+
+// Error describes the abort.
+func (e *yieldError) Error() string {
+	return "search: aborted by check-in: " + e.cause.Error()
+}
+
+// Unwrap matches both the ErrYield sentinel and the callback's cause.
+func (e *yieldError) Unwrap() []error { return []error{ErrYield, e.cause} }

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/nets"
+)
+
+// TestCheckInAbortWrapsCause: a non-nil CheckIn return aborts the
+// search with an error matching both ErrYield and the original cause.
+func TestCheckInAbortWrapsCause(t *testing.T) {
+	cause := errors.New("preempted by test")
+	opts := quickOpts(t, "arch1")
+	opts.CheckIn = func() error { return cause }
+
+	_, err := SearchLayer(layer.NewConv("c", 14, 14, 32, 32, 3), opts)
+	if err == nil {
+		t.Fatal("search with aborting CheckIn succeeded, want error")
+	}
+	if !errors.Is(err, ErrYield) {
+		t.Errorf("err = %v, want errors.Is(err, ErrYield)", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("err = %v, want errors.Is(err, cause)", err)
+	}
+}
+
+// TestCheckInNilIsNoop: a search without a CheckIn behaves exactly as
+// before the hook existed.
+func TestCheckInNilIsNoop(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	lr, err := SearchLayer(layer.NewConv("c", 8, 8, 4, 4, 3), opts)
+	if err != nil || lr.BestOoO == nil {
+		t.Fatalf("nil-CheckIn search failed: %v", err)
+	}
+}
+
+// TestCheckInYieldForgetsCacheEntry: a yielded search must not poison
+// the cache — the next lookup with the same key recomputes instead of
+// inheriting the abort.
+func TestCheckInYieldForgetsCacheEntry(t *testing.T) {
+	l := layer.NewConv("c", 8, 8, 4, 4, 3)
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	opts.CheckIn = func() error { return errors.New("yield now") }
+
+	if _, err := SearchLayerCtx(context.Background(), l, opts); !errors.Is(err, ErrYield) {
+		t.Fatalf("first search = %v, want ErrYield", err)
+	}
+	if n := opts.Cache.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a yield, want 0 (entry forgotten)", n)
+	}
+
+	opts.CheckIn = nil
+	lr, err := SearchLayerCtx(context.Background(), l, opts)
+	if err != nil || lr.BestOoO == nil {
+		t.Fatalf("retry after yield failed: %v", err)
+	}
+}
+
+// requireSameNetworkResult asserts two network results are
+// bit-identical in every schedule-relevant field: per-layer best
+// cycles, traffic, tiling factors and winning static order, plus the
+// end-to-end totals.
+func requireSameNetworkResult(t *testing.T, want, got *NetworkResult) {
+	t.Helper()
+	if len(want.Layers) != len(got.Layers) {
+		t.Fatalf("layer count %d vs %d", len(want.Layers), len(got.Layers))
+	}
+	for i, w := range want.Layers {
+		g := got.Layers[i]
+		if w.BestOoO.LatencyCycles != g.BestOoO.LatencyCycles ||
+			w.BestOoO.TrafficBytes() != g.BestOoO.TrafficBytes() {
+			t.Errorf("layer %s: OoO %d cyc / %d B vs %d cyc / %d B", w.Layer.Name,
+				w.BestOoO.LatencyCycles, w.BestOoO.TrafficBytes(),
+				g.BestOoO.LatencyCycles, g.BestOoO.TrafficBytes())
+		}
+		if w.BestOoO.Factors != g.BestOoO.Factors {
+			t.Errorf("layer %s: winning tiling %v vs %v", w.Layer.Name, w.BestOoO.Factors, g.BestOoO.Factors)
+		}
+		if w.BestStatic.LatencyCycles != g.BestStatic.LatencyCycles ||
+			w.BestStatic.TrafficBytes() != g.BestStatic.TrafficBytes() {
+			t.Errorf("layer %s: static %d cyc / %d B vs %d cyc / %d B", w.Layer.Name,
+				w.BestStatic.LatencyCycles, w.BestStatic.TrafficBytes(),
+				g.BestStatic.LatencyCycles, g.BestStatic.TrafficBytes())
+		}
+		if w.BestStaticOrder.Name != g.BestStaticOrder.Name {
+			t.Errorf("layer %s: static order %q vs %q", w.Layer.Name, w.BestStaticOrder.Name, g.BestStaticOrder.Name)
+		}
+	}
+	wOoO, wStat, wOoOT, wStatT := want.Totals()
+	gOoO, gStat, gOoOT, gStatT := got.Totals()
+	if wOoO != gOoO || wStat != gStat || wOoOT != gOoOT || wStatT != gStatT {
+		t.Errorf("totals (%d %d %d %d) vs (%d %d %d %d)",
+			wOoO, wStat, wOoOT, wStatT, gOoO, gStat, gOoOT, gStatT)
+	}
+}
+
+// TestPreemptedRequeueIsBitIdentical is the determinism acceptance
+// property: a network search aborted mid-way by a check-in yield —
+// discarding partial incumbents and forgetting in-flight cache
+// entries — then rerun to completion returns results bit-identical to
+// a run that was never interrupted. This is what lets the serving
+// layer preempt and requeue sweeps transparently.
+func TestPreemptedRequeueIsBitIdentical(t *testing.T) {
+	n := nets.Network{Name: "tiny", Layers: []layer.Conv{
+		layer.NewConv("a1", 8, 8, 4, 4, 3),
+		layer.NewConv("b", 8, 8, 4, 8, 3),
+		layer.NewConv("a2", 8, 8, 4, 4, 3),
+		layer.NewConv("c", 14, 14, 8, 8, 3),
+	}}
+
+	// Baseline: an uninterrupted run on a fresh cache.
+	base := quickOpts(t, "arch1")
+	base.Cache = NewCache()
+	want, err := SearchNetwork(n, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Preempt at every candidate boundary from the k-th check-in on,
+	// sweeping k so the abort lands at different points of the search
+	// — including mid-layer, after some tilings already completed.
+	for k := int64(1); k <= 7; k += 3 {
+		opts := quickOpts(t, "arch1")
+		opts.Cache = NewCache()
+		var calls atomic.Int64
+		opts.CheckIn = func() error {
+			if calls.Add(1) >= k {
+				return errors.New("preempted")
+			}
+			return nil
+		}
+		if _, err := SearchNetwork(n, opts); !errors.Is(err, ErrYield) {
+			t.Fatalf("k=%d: interrupted run = %v, want ErrYield", k, err)
+		}
+
+		// Requeue: same cache, no check-in — as the serving layer does
+		// after re-admission.
+		opts.CheckIn = nil
+		got, err := SearchNetwork(n, opts)
+		if err != nil {
+			t.Fatalf("k=%d: requeued run failed: %v", k, err)
+		}
+		requireSameNetworkResult(t, want, got)
+	}
+}

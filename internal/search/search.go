@@ -132,6 +132,17 @@ type Options struct {
 	// Progress never affects the result and is excluded from the cache
 	// key, so callers with different callbacks still share one search.
 	Progress ProgressFunc
+	// CheckIn, when non-nil, is consulted at every candidate boundary
+	// (before each enumerated tiling is scheduled). A non-nil return
+	// aborts the search with an error wrapping both ErrYield and the
+	// returned cause; a CheckIn that blocks pauses the search in place.
+	// Serving layers use it for cooperative preemption: a preempted
+	// search's partial incumbents are discarded and — because the cache
+	// treats yields like cancellations — a requeued run recomputes and
+	// returns a result identical to an uninterrupted search. Like
+	// Progress it never affects the result of a completed search and is
+	// excluded from the cache key.
+	CheckIn CheckInFunc
 
 	// sem is a shared worker-pool semaphore; SearchNetwork installs one
 	// so nested layer searches share a single parallelism budget.
@@ -231,6 +242,9 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opts.checkIn(); err != nil {
+		return nil, err
+	}
 	b := opts.Budget
 	if b.MaxOps <= 0 {
 		b.MaxOps = tile.DefaultMaxOps
@@ -293,6 +307,14 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 				errs[i] = err
 				return
 			}
+			// Candidate boundary: the safe yield point. A preempting
+			// check-in aborts this tiling before any scheduling work;
+			// tilings already scheduled are simply discarded with the
+			// rest of the aborted search.
+			if err := opts.checkIn(); err != nil {
+				errs[i] = err
+				return
+			}
 			if pruning && inc.dominated(bounds[i], opts.Metric) {
 				errs[i] = errDominated
 				reporter.candidatePruned()
@@ -324,6 +346,14 @@ func searchLayerUncached(ctx context.Context, l layer.Conv, opts Options) (*Laye
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// A yield aborts the whole search: the reduction below would
+	// otherwise skip yielded tilings as "infeasible" and return a
+	// result computed from a partial candidate set.
+	for _, err := range errs {
+		if err != nil && errors.Is(err, ErrYield) {
+			return nil, err
+		}
 	}
 
 	lr := &LayerResult{Layer: l, CandidatesEnumerated: len(tilings)}

@@ -27,6 +27,11 @@ type Client struct {
 	// load, 504 deadline) with exponential backoff; nil disables
 	// retries, preserving the one-shot behavior. See RetryPolicy.
 	Retry *RetryPolicy
+	// Tenant, when non-empty, is sent as the X-Flexer-Tenant header on
+	// every schedule request, naming the admission tenant that queues
+	// and is billed for this client's searches. A request body's own
+	// tenant field takes precedence.
+	Tenant string
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -221,6 +226,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 			return fmt.Errorf("serve client: %w", err), false
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if c.Tenant != "" {
+			req.Header.Set("X-Flexer-Tenant", c.Tenant)
+		}
 		return c.do(req, out), true
 	})
 }
@@ -284,6 +292,9 @@ func (c *Client) streamOnce(ctx context.Context, path string, body []byte, onPro
 		return StreamEvent{}, false, fmt.Errorf("serve client: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set("X-Flexer-Tenant", c.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return StreamEvent{}, false, fmt.Errorf("serve client: POST %s: %w", path, err)

@@ -28,6 +28,9 @@ type metrics struct {
 	searching *expvar.Int // searches currently holding a worker slot
 	shed      *expvar.Int // requests rejected by admission control (429)
 	progress  *expvar.Int // progress_events_total written to NDJSON streams
+	preempted *expvar.Int // running searches aborted for a higher-priority arrival
+	requeued  *expvar.Int // preempted searches re-enqueued and restarted
+	panics    *expvar.Int // search functions that panicked (slot recovered, 500 returned)
 	latency   *latencyHist
 	netLat    *latencyHist
 }
@@ -47,6 +50,9 @@ func newMetrics() *metrics {
 		searching: new(expvar.Int),
 		shed:      new(expvar.Int),
 		progress:  new(expvar.Int),
+		preempted: new(expvar.Int),
+		requeued:  new(expvar.Int),
+		panics:    new(expvar.Int),
 		latency:   newLatencyHist(),
 		netLat:    newLatencyHist(),
 	}
@@ -56,6 +62,9 @@ func newMetrics() *metrics {
 	m.publish("searches_inflight", m.searching)
 	m.publish("requests_shed_total", m.shed)
 	m.publish("progress_events_total", m.progress)
+	m.publish("requests_preempted_total", m.preempted)
+	m.publish("requests_requeued_total", m.requeued)
+	m.publish("search_panics_total", m.panics)
 	m.publish("search_latency_ms", m.latency)
 	m.publish("network_search_latency_ms", m.netLat)
 	return m
@@ -95,11 +104,18 @@ var latencyBoundsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 
 
 // latencyHist is a fixed-bucket latency histogram implementing
 // expvar.Var.
+// latencyEWMAAlpha weights the newest observation in the decayed mean:
+// ~0.3 means the last handful of requests dominate, so one cold
+// multi-minute sweep stops distorting Retry-After hints after a few
+// fast requests instead of for the life of the process.
+const latencyEWMAAlpha = 0.3
+
 type latencyHist struct {
 	mu      sync.Mutex
 	count   int64
 	sumMS   float64
 	maxMS   float64
+	ewmaMS  float64
 	buckets []int64 // len(latencyBoundsMS)+1, last = overflow
 }
 
@@ -115,6 +131,11 @@ func (h *latencyHist) Observe(d time.Duration) {
 	defer h.mu.Unlock()
 	h.count++
 	h.sumMS += ms
+	if h.count == 1 {
+		h.ewmaMS = ms
+	} else {
+		h.ewmaMS = latencyEWMAAlpha*ms + (1-latencyEWMAAlpha)*h.ewmaMS
+	}
 	if ms > h.maxMS {
 		h.maxMS = ms
 	}
@@ -127,9 +148,8 @@ func (h *latencyHist) Observe(d time.Duration) {
 	h.buckets[len(h.buckets)-1]++
 }
 
-// MeanMS returns the mean observed latency in milliseconds, or 0
-// before any observation. Admission control uses it to derive a
-// Retry-After estimate for shed requests.
+// MeanMS returns the lifetime mean observed latency in milliseconds,
+// or 0 before any observation.
 func (h *latencyHist) MeanMS() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -137,6 +157,16 @@ func (h *latencyHist) MeanMS() float64 {
 		return 0
 	}
 	return h.sumMS / float64(h.count)
+}
+
+// DecayedMeanMS returns the exponentially-decayed mean latency in
+// milliseconds, or 0 before any observation. Admission control derives
+// Retry-After estimates from it instead of the lifetime mean, which
+// never recovers from one cold multi-minute search.
+func (h *latencyHist) DecayedMeanMS() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ewmaMS
 }
 
 // String renders the histogram as JSON: count, sum, mean, max and the
@@ -148,8 +178,8 @@ func (h *latencyHist) String() string {
 	if h.count > 0 {
 		mean = h.sumMS / float64(h.count)
 	}
-	s := fmt.Sprintf(`{"count": %d, "sum_ms": %.3f, "mean_ms": %.3f, "max_ms": %.3f, "buckets": {`,
-		h.count, h.sumMS, mean, h.maxMS)
+	s := fmt.Sprintf(`{"count": %d, "sum_ms": %.3f, "mean_ms": %.3f, "ewma_ms": %.3f, "max_ms": %.3f, "buckets": {`,
+		h.count, h.sumMS, mean, h.ewmaMS, h.maxMS)
 	for i, b := range latencyBoundsMS {
 		if i > 0 {
 			s += ", "

@@ -73,7 +73,7 @@ func TestSheddingReturns429(t *testing.T) {
 	cancel2, done2 := postAsync(t, ts.URL+"/v1/schedule/layer", slowBody)
 	defer cancel2()
 	waitFor(t, "second request to queue", func() bool {
-		return srv.queued.Load() == 1
+		return srv.admit.Stats().Queued == 1
 	})
 
 	// Third request must be shed immediately.
@@ -125,7 +125,7 @@ func TestSheddingReturns429(t *testing.T) {
 	<-done1
 	<-done2
 	waitFor(t, "pool to drain", func() bool {
-		return srv.metrics.searching.Value() == 0 && srv.queued.Load() == 0
+		return srv.metrics.searching.Value() == 0 && srv.admit.Stats().Queued == 0
 	})
 	quick := `{"arch": "arch1", "shape": ` + smallShape + `, "timeout_ms": 60000}`
 	resp2 := postJSON(t, ts.URL+"/v1/schedule/layer", quick)

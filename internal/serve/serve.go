@@ -2,10 +2,19 @@
 // long-running service: it wraps search.SearchLayerCtx and
 // search.SearchNetworkCtx with a shared result cache (optionally
 // persisted to disk across restarts), a bounded worker pool with
-// per-request timeouts, queue-depth admission control that sheds
-// excess load with 429 + Retry-After, and an expvar-style
-// observability surface, and exposes the whole thing as an
-// http.Handler.
+// per-request timeouts, a multi-tenant admission scheduler
+// (internal/serve/admission) with weighted fair queues, priority
+// tiers and candidate-boundary preemption that sheds excess load with
+// 429 + Retry-After, and an expvar-style observability surface, and
+// exposes the whole thing as an http.Handler.
+//
+// Requests name their tenant via the "tenant" body field or the
+// X-Flexer-Tenant header; single-layer requests run at the
+// interactive tier and network sweeps at the batch tier, so an
+// interactive arrival overtakes queued sweeps and — when every slot
+// is busy — preempts a running one at its next candidate boundary.
+// The preempted sweep is re-enqueued and restarted transparently; its
+// final result is identical to an uninterrupted run.
 //
 // The daemon binary cmd/flexerd is a thin wrapper around this package;
 // Client is the matching Go client. The HTTP surface:
@@ -38,11 +47,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
 )
 
 // Config tunes a Server. The zero value is a working quick-budget
@@ -55,11 +66,19 @@ type Config struct {
 	// further requests queue until a slot frees (0 = GOMAXPROCS).
 	Workers int
 	// MaxQueueDepth bounds how many schedule requests may wait for a
-	// worker slot; beyond it the server sheds load with 429 and a
-	// Retry-After estimate instead of letting every request camp on
-	// the pool until its deadline 504s (0 = 4x Workers; negative =
-	// unlimited, the pre-admission-control behavior).
+	// worker slot per tenant; beyond it the server sheds the tenant's
+	// load with 429 and a Retry-After estimate instead of letting
+	// every request camp on the pool until its deadline 504s (0 = 4x
+	// Workers; negative = unlimited, the pre-admission-control
+	// behavior).
 	MaxQueueDepth int
+	// Tenants pre-registers admission tenants with non-default
+	// weights, concurrency quotas or forced tiers; unknown tenants are
+	// created on first use with weight 1 and no quota.
+	Tenants []admission.TenantConfig
+	// DefaultTenant is the tenant billed for requests that name none
+	// ("" = "default").
+	DefaultTenant string
 	// SearchParallelism is the per-search worker count handed to
 	// search.Options.Workers (0 = GOMAXPROCS). Lower it when Workers
 	// is high to avoid oversubscription.
@@ -83,8 +102,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	cache   *search.Cache
-	sem     chan struct{} // worker-pool slots
-	queued  atomic.Int64  // requests between admission and a worker slot
+	admit   *admission.Scheduler // multi-tenant worker-slot arbiter
 	metrics *metrics
 	start   time.Time
 	log     *log.Logger
@@ -113,14 +131,21 @@ func New(cfg Config) *Server {
 	} else if cfg.CacheSize < 0 {
 		cacheSize = 0 // unbounded
 	}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = "default"
+	}
 	logger := cfg.Log
 	if logger == nil {
 		logger = log.Default()
 	}
 	s := &Server{
-		cfg:     cfg,
-		cache:   search.NewCacheSized(cacheSize),
-		sem:     make(chan struct{}, cfg.Workers),
+		cfg:   cfg,
+		cache: search.NewCacheSized(cacheSize),
+		admit: admission.NewScheduler(admission.Config{
+			Slots:         cfg.Workers,
+			MaxQueueDepth: cfg.MaxQueueDepth,
+			Tenants:       cfg.Tenants,
+		}),
 		metrics: newMetrics(),
 		start:   time.Now(),
 		log:     logger,
@@ -129,8 +154,9 @@ func New(cfg Config) *Server {
 	s.metrics.publish("cache_hit_ratio", expvar.Func(func() any { return s.cache.Stats().HitRatio() }))
 	s.metrics.publish("searches_coalesced_total", expvar.Func(func() any { return s.cache.Stats().CoalescedHits }))
 	s.metrics.publish("worker_pool_size", expvar.Func(func() any { return cfg.Workers }))
-	s.metrics.publish("requests_queued", expvar.Func(func() any { return s.queued.Load() }))
-	s.metrics.publish("queue_depth_limit", expvar.Func(func() any { return cfg.MaxQueueDepth }))
+	s.metrics.publish("requests_queued", expvar.Func(func() any { return s.admit.Stats().Queued }))
+	s.metrics.publish("queue_depth_limit", expvar.Func(func() any { return s.admit.QueueDepth() }))
+	s.metrics.publish("tenants", expvar.Func(func() any { return s.admit.Stats().Tenants }))
 	s.metrics.publish("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	return s
 }
@@ -273,10 +299,14 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	opts.Cache = s.cache
 	opts.Workers = s.cfg.SearchParallelism
 
+	// Single-layer requests are the latency-bound class: they overtake
+	// queued network sweeps and preempt running preemptible ones.
+	adm := admission.Request{Tenant: s.tenant(r, req.Tenant), Tier: admission.TierInteractive}
 	start := time.Now()
-	run := func(ctx context.Context, progress search.ProgressFunc) (any, error) {
+	run := func(ctx context.Context, progress search.ProgressFunc, checkIn search.CheckInFunc) (any, error) {
 		o := opts
 		o.Progress = progress
+		o.CheckIn = checkIn
 		lr, err := search.SearchLayerCtx(ctx, l, o)
 		if err != nil {
 			return nil, err
@@ -284,14 +314,14 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		return buildLayerResponse(lr, cfg.Name, req.Full, msSince(start)), nil
 	}
 	if wantStream(r) {
-		s.streamSearch(w, r, req.TimeoutMS, s.metrics.latency, run, func(v any) StreamEvent {
+		s.streamSearch(w, r, req.TimeoutMS, adm, s.metrics.latency, run, func(v any) StreamEvent {
 			lr := v.(LayerResponse)
 			return StreamEvent{Event: "result", LayerResult: &lr}
 		})
 		return
 	}
-	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return run(ctx, nil)
+	res, err := s.search(r.Context(), req.TimeoutMS, adm, func(ctx context.Context, checkIn search.CheckInFunc) (any, error) {
+		return run(ctx, nil, checkIn)
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -339,10 +369,18 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	var misses atomic.Int64
 	opts.CacheMisses = &misses
 
+	// Network sweeps are the throughput-bound class: preemptible, so
+	// an interactive arrival can take their slot at the next candidate
+	// boundary (the sweep is then requeued and restarted).
+	adm := admission.Request{Tenant: s.tenant(r, req.Tenant), Tier: admission.TierBatch, Preemptible: true}
 	start := time.Now()
-	run := func(ctx context.Context, progress search.ProgressFunc) (any, error) {
+	run := func(ctx context.Context, progress search.ProgressFunc, checkIn search.CheckInFunc) (any, error) {
+		// Reset the miss counter: a preempted-and-requeued run would
+		// otherwise report the aborted attempt's misses too.
+		misses.Store(0)
 		o := opts
 		o.Progress = progress
+		o.CheckIn = checkIn
 		nr, err := search.SearchNetworkCtx(ctx, n, o)
 		if err != nil {
 			return nil, err
@@ -350,14 +388,14 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		return buildNetworkResponse(nr, int(misses.Load()), msSince(start)), nil
 	}
 	if wantStream(r) {
-		s.streamSearch(w, r, req.TimeoutMS, s.metrics.netLat, run, func(v any) StreamEvent {
+		s.streamSearch(w, r, req.TimeoutMS, adm, s.metrics.netLat, run, func(v any) StreamEvent {
 			nr := v.(NetworkResponse)
 			return StreamEvent{Event: "result", NetworkResult: &nr}
 		})
 		return
 	}
-	res, err := s.search(r.Context(), req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return run(ctx, nil)
+	res, err := s.search(r.Context(), req.TimeoutMS, adm, func(ctx context.Context, checkIn search.CheckInFunc) (any, error) {
+		return run(ctx, nil, checkIn)
 	})
 	if err != nil {
 		s.fail(w, err)
@@ -388,6 +426,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// tenantHeader names the HTTP header that selects the admission
+// tenant when the request body names none.
+const tenantHeader = "X-Flexer-Tenant"
+
+// tenant resolves the admission tenant of one request: the body's
+// tenant field, else the X-Flexer-Tenant header, else the server's
+// default tenant.
+func (s *Server) tenant(r *http.Request, bodyTenant string) string {
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	if h := r.Header.Get(tenantHeader); h != "" {
+		return h
+	}
+	return s.cfg.DefaultTenant
+}
+
 // effectiveTimeout resolves the search deadline for one request: the
 // client's timeout_ms clamped to the server maximum, or the server
 // default when the client named none.
@@ -402,30 +457,22 @@ func (s *Server) effectiveTimeout(timeoutMS int64) time.Duration {
 	return timeout
 }
 
-// acquire runs admission control and takes one worker-pool slot,
-// returning the release func the caller must invoke when the search
-// finishes. Shed requests get an overloadedError; a context that ends
-// while queueing returns ctx.Err().
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
-	// Admission control: add-then-check keeps the gauge exact under
-	// concurrency, so a burst can never overshoot the queue bound.
-	if n := s.queued.Add(1); s.cfg.MaxQueueDepth >= 0 && n > int64(s.cfg.MaxQueueDepth) {
-		s.queued.Add(-1)
-		s.metrics.shed.Add(1)
-		return nil, overloadedError{retryAfter: s.retryAfter()}
-	}
-	select {
-	case s.sem <- struct{}{}:
-		s.queued.Add(-1)
-	case <-ctx.Done():
-		s.queued.Add(-1)
-		return nil, ctx.Err()
+// acquire runs admission control and takes one worker-pool slot from
+// the tenant scheduler; the returned grant must be released exactly
+// once. Shed requests get an overloadedError carrying their tenant's
+// queue view; a context that ends while queueing returns ctx.Err().
+func (s *Server) acquire(ctx context.Context, adm admission.Request) (*admission.Grant, error) {
+	g, err := s.admit.Acquire(ctx, adm)
+	if err != nil {
+		var qf *admission.QueueFullError
+		if errors.As(err, &qf) {
+			s.metrics.shed.Add(1)
+			return nil, overloadedError{retryAfter: s.retryAfter(), queue: qf}
+		}
+		return nil, err
 	}
 	s.metrics.searching.Add(1)
-	return func() {
-		s.metrics.searching.Add(-1)
-		<-s.sem
-	}, nil
+	return g, nil
 }
 
 // searchOutcome carries a finished search across its result channel.
@@ -434,31 +481,62 @@ type searchOutcome struct {
 	err error
 }
 
-// search runs f on the worker pool under the request's effective
-// deadline. It returns promptly when the context ends — even while f
-// is still winding down in the background, where it aborts at its next
-// cancellation check and frees the pool slot.
-func (s *Server) search(ctx context.Context, timeoutMS int64, f func(context.Context) (any, error)) (any, error) {
-	ctx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(timeoutMS))
-	release, err := s.acquire(ctx)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	ch := make(chan searchOutcome, 1)
-	go func() {
-		defer func() {
-			release()
-			cancel()
-		}()
-		v, err := f(ctx)
-		ch <- searchOutcome{v, err}
+// runOnGrant runs f to completion on a held grant, converting a panic
+// into a panicError so the outcome channel always receives exactly one
+// value, and — panic or not — restores the searching gauge and
+// releases the worker slot. This is the only place a slot is returned,
+// so one panicking request can never shrink the pool.
+func (s *Server) runOnGrant(ctx context.Context, g *admission.Grant, f func(context.Context, search.CheckInFunc) (any, error), out chan<- searchOutcome) {
+	var o searchOutcome
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			s.log.Printf("panic in search: %v\n%s", r, debug.Stack())
+			o = searchOutcome{nil, panicError{val: r}}
+		}
+		s.metrics.searching.Add(-1)
+		g.Release()
+		out <- o
 	}()
-	select {
-	case o := <-ch:
-		return o.v, o.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	v, err := f(ctx, g.CheckIn)
+	o = searchOutcome{v, err}
+}
+
+// search runs f on the worker pool under the request's effective
+// deadline, re-enqueueing and restarting it transparently when a
+// higher-priority arrival preempts it at a candidate boundary. It
+// returns promptly when the context ends — even while f is still
+// winding down in the background, where it aborts at its next
+// cancellation or check-in and frees its slot.
+func (s *Server) search(ctx context.Context, timeoutMS int64, adm admission.Request, f func(context.Context, search.CheckInFunc) (any, error)) (any, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.effectiveTimeout(timeoutMS))
+	defer cancel()
+	for {
+		g, err := s.acquire(ctx, adm)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan searchOutcome, 1)
+		go s.runOnGrant(ctx, g, f, ch)
+		select {
+		case o := <-ch:
+			if errors.Is(o.err, admission.ErrPreempted) {
+				if err := ctx.Err(); err != nil {
+					// Preempted right as the deadline hit; report the
+					// deadline, not the internal yield.
+					return nil, err
+				}
+				// Preempted at a candidate boundary: the partial
+				// incumbents are gone (the cache forgot the yielded
+				// entry), so re-enqueue and recompute from scratch.
+				s.metrics.preempted.Add(1)
+				s.metrics.requeued.Add(1)
+				continue
+			}
+			return o.v, o.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 }
 
@@ -483,17 +561,20 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // retryAfter estimates when a shed client should come back: the queue
-// ahead of it, paced by the mean observed search latency per worker,
-// clamped to [1s, 5min]. Before any observation it falls back to 1s.
+// ahead of it, paced by the exponentially-decayed mean search latency
+// per worker, clamped to [1s, 5min]. Before any observation it falls
+// back to 1s. The decayed mean (not the lifetime mean) matters here:
+// one cold multi-minute sweep must not inflate every later hint for
+// the life of the process.
 func (s *Server) retryAfter() time.Duration {
-	mean := s.metrics.latency.MeanMS()
-	if nm := s.metrics.netLat.MeanMS(); nm > mean {
+	mean := s.metrics.latency.DecayedMeanMS()
+	if nm := s.metrics.netLat.DecayedMeanMS(); nm > mean {
 		mean = nm
 	}
 	if mean <= 0 {
 		mean = 1000
 	}
-	backlog := float64(s.queued.Load() + 1)
+	backlog := float64(int64(s.admit.Stats().Queued) + 1)
 	d := time.Duration(mean*backlog/float64(s.cfg.Workers)) * time.Millisecond
 	if d < time.Second {
 		d = time.Second
@@ -504,12 +585,13 @@ func (s *Server) retryAfter() time.Duration {
 	return d
 }
 
-// state snapshots the queue and cache for degraded-mode error bodies,
+// state snapshots the queues and cache for degraded-mode error bodies,
 // so a client that was shed or timed out can see why.
 func (s *Server) state() *ServerStateJSON {
+	st := s.admit.Stats()
 	return &ServerStateJSON{
-		Queued:     s.queued.Load(),
-		QueueLimit: s.cfg.MaxQueueDepth,
+		Queued:     int64(st.Queued),
+		QueueLimit: s.admit.QueueDepth(),
 		Searching:  s.metrics.searching.Value(),
 		Workers:    s.cfg.Workers,
 		Cache:      s.cache.Stats(),
@@ -517,24 +599,30 @@ func (s *Server) state() *ServerStateJSON {
 }
 
 // fail maps an error to its HTTP status: 400 for malformed requests,
-// 429 for shed load (with a Retry-After header), 504 for deadlines,
-// 499-style client-closed for cancellations, and 422 for well-formed
-// requests the search cannot satisfy. Shed and timed-out responses
-// carry the queue/cache state so clients can degrade gracefully.
+// 429 for shed load (with a Retry-After header and the tenant's queue
+// view), 500 for a panicking search, 504 for deadlines, 499-style
+// client-closed for cancellations, and 422 for well-formed requests
+// the search cannot satisfy. Shed and timed-out responses carry the
+// queue/cache state so clients can degrade gracefully.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var bad badRequestError
 	var over overloadedError
+	var pan panicError
 	switch {
 	case errors.As(err, &bad):
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: bad.Error()})
 	case errors.As(err, &over):
 		secs := int(math.Ceil(over.retryAfter.Seconds()))
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		st := s.state()
+		st.Tenant = tenantState(over.queue)
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
 			Error:             "server overloaded: schedule queue is full; retry after the advertised delay",
 			RetryAfterSeconds: secs,
-			State:             s.state(),
+			State:             st,
 		})
+	case errors.As(err, &pan):
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: pan.Error()})
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{
 			Error: "search timed out; retry with a larger timeout_ms or budget=quick",

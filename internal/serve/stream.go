@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
 )
 
 // StreamEvent is one NDJSON line of a ?stream=1 response. Event is
@@ -42,6 +43,10 @@ type StreamEvent struct {
 	CacheHit        bool    `json:"cache_hit,omitempty"`
 	Coalesced       bool    `json:"coalesced,omitempty"`
 	ElapsedMS       float64 `json:"elapsed_ms,omitempty"`
+	// Preempted marks a progress event reporting that the search was
+	// preempted by a higher-priority request and re-enqueued; the
+	// candidate counters restart from zero when it resumes.
+	Preempted bool `json:"preempted,omitempty"`
 
 	// Terminal payload (Event == "result"): exactly one is set,
 	// matching the endpoint.
@@ -77,11 +82,15 @@ const streamEventBuffer = 256
 // spent queueing) are still reported as plain JSON errors with their
 // real HTTP status; once a worker slot is held the response commits to
 // 200 + NDJSON and any later failure becomes a terminal "error" event.
-func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS int64, hist *latencyHist,
-	run func(context.Context, search.ProgressFunc) (any, error), result func(any) StreamEvent) {
+// A preemption by a higher-priority request is reported as a progress
+// event with "preempted": true; the search re-enqueues, restarts when
+// its tenant gets a slot again, and still ends with the normal
+// terminal event.
+func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS int64, adm admission.Request, hist *latencyHist,
+	run func(context.Context, search.ProgressFunc, search.CheckInFunc) (any, error), result func(any) StreamEvent) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
 	defer cancel()
-	release, err := s.acquire(ctx)
+	g, err := s.acquire(ctx, adm)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -96,14 +105,10 @@ func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS 
 		}
 	}
 	done := make(chan searchOutcome, 1)
-	go func() {
-		defer func() {
-			release()
-			cancel()
-		}()
-		v, err := run(ctx, progress)
-		done <- searchOutcome{v, err}
-	}()
+	attempt := func(ctx context.Context, checkIn search.CheckInFunc) (any, error) {
+		return run(ctx, progress, checkIn)
+	}
+	go s.runOnGrant(ctx, g, attempt, done)
 
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
@@ -120,10 +125,9 @@ func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS 
 			f.Flush()
 		}
 	}
-
-	finish := func(o searchOutcome) {
+	drain := func() {
 		// Flush progress that raced the completion so every buffered
-		// event precedes the terminal one.
+		// event precedes the next milestone.
 		for {
 			select {
 			case ev := <-events:
@@ -133,24 +137,51 @@ func (s *Server) streamSearch(w http.ResponseWriter, r *http.Request, timeoutMS 
 			}
 			break
 		}
+	}
+
+	// finish handles one attempt's outcome; it reports whether the
+	// stream is over (false = the search was preempted and restarted).
+	finish := func(o searchOutcome) bool {
+		drain()
+		if errors.Is(o.err, admission.ErrPreempted) && ctx.Err() == nil {
+			// Preempted at a candidate boundary: tell the client, then
+			// re-enqueue. The 200 is already committed, so a failure to
+			// re-acquire becomes a terminal error event.
+			s.metrics.preempted.Add(1)
+			s.metrics.requeued.Add(1)
+			emit(StreamEvent{Event: "progress", Preempted: true, ElapsedMS: msSince(start)})
+			g, err := s.acquire(ctx, adm)
+			if err != nil {
+				emit(s.streamError(err))
+				return true
+			}
+			go s.runOnGrant(ctx, g, attempt, done)
+			return false
+		}
 		if o.err != nil {
+			if errors.Is(o.err, admission.ErrPreempted) {
+				// Preempted right as the deadline hit; report the
+				// deadline, not the internal yield.
+				o.err = ctx.Err()
+			}
 			emit(s.streamError(o.err))
-			return
+			return true
 		}
 		hist.Observe(time.Since(start))
 		emit(result(o.v))
+		return true
 	}
 	for {
 		select {
 		case ev := <-events:
 			emit(ev)
 		case o := <-done:
-			finish(o)
-			return
+			if finish(o) {
+				return
+			}
 		case <-ctx.Done():
-			// The search goroutine cancels ctx on its way out, so a
-			// finished search can make both cases ready at once; prefer
-			// its outcome over a spurious cancellation error.
+			// A finished search can make both cases ready at once;
+			// prefer its outcome over a spurious cancellation error.
 			select {
 			case o := <-done:
 				finish(o)
@@ -188,6 +219,7 @@ func (s *Server) streamError(err error) StreamEvent {
 	ev := StreamEvent{Event: "error"}
 	var bad badRequestError
 	var over overloadedError
+	var pan panicError
 	switch {
 	case errors.As(err, &bad):
 		ev.Status = http.StatusBadRequest
@@ -197,6 +229,10 @@ func (s *Server) streamError(err error) StreamEvent {
 		ev.Error = "server overloaded: schedule queue is full; retry after the advertised delay"
 		ev.RetryAfterSeconds = int(math.Ceil(over.retryAfter.Seconds()))
 		ev.State = s.state()
+		ev.State.Tenant = tenantState(over.queue)
+	case errors.As(err, &pan):
+		ev.Status = http.StatusInternalServerError
+		ev.Error = pan.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		ev.Status = http.StatusGatewayTimeout
 		ev.Error = "search timed out; retry with a larger timeout_ms or budget=quick"

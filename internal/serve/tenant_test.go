@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
+)
+
+// tenantGranted returns how many grants the named tenant has been
+// billed for, or -1 if the scheduler has never seen it.
+func tenantGranted(s *Server, name string) int64 {
+	for _, ts := range s.admit.Stats().Tenants {
+		if ts.Name == name {
+			return ts.Granted
+		}
+	}
+	return -1
+}
+
+// postJSONTenant posts raw JSON with an X-Flexer-Tenant header.
+func postJSONTenant(t *testing.T, url, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestTenantResolution checks the billing identity order: body field
+// over header over the server default — and that each shows up in the
+// per-tenant accounting and the tenants expvar.
+func TestTenantResolution(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DefaultTenant: "housecat"})
+	url := ts.URL + "/v1/schedule/layer"
+	quick := `{"arch": "arch1", "shape": ` + smallShape + `}`
+
+	// No tenant anywhere: billed to the configured default.
+	if resp := postJSON(t, url, quick); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default-tenant POST = %d", resp.StatusCode)
+	}
+	if got := tenantGranted(srv, "housecat"); got != 1 {
+		t.Errorf("default tenant granted = %d, want 1", got)
+	}
+
+	// Header names the tenant.
+	if resp := postJSONTenant(t, url, "header-co", quick); resp.StatusCode != http.StatusOK {
+		t.Fatalf("header-tenant POST = %d", resp.StatusCode)
+	}
+	if got := tenantGranted(srv, "header-co"); got != 1 {
+		t.Errorf("header tenant granted = %d, want 1", got)
+	}
+
+	// Body field wins over the header.
+	body := `{"arch": "arch1", "shape": ` + smallShape + `, "tenant": "body-co"}`
+	if resp := postJSONTenant(t, url, "header-co", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("body-tenant POST = %d", resp.StatusCode)
+	}
+	if got := tenantGranted(srv, "body-co"); got != 1 {
+		t.Errorf("body tenant granted = %d, want 1", got)
+	}
+	if got := tenantGranted(srv, "header-co"); got != 1 {
+		t.Errorf("header tenant granted after body override = %d, want still 1", got)
+	}
+
+	// The typed client stamps its Tenant on every request.
+	c := NewClient(ts.URL)
+	c.Tenant = "client-co"
+	if _, err := c.ScheduleLayer(context.Background(), LayerRequest{
+		Arch: "arch1", Shape: &ConvJSON{InH: 14, InW: 14, InC: 64, OutC: 64, KerH: 3},
+	}); err != nil {
+		t.Fatalf("client ScheduleLayer: %v", err)
+	}
+	if got := tenantGranted(srv, "client-co"); got != 1 {
+		t.Errorf("client tenant granted = %d, want 1", got)
+	}
+
+	// All four appear in the tenants expvar.
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Tenants []admission.TenantStats `json:"tenants"`
+	}
+	decodeBody(t, resp, &vars)
+	seen := map[string]bool{}
+	for _, ts := range vars.Tenants {
+		seen[ts.Name] = true
+	}
+	for _, want := range []string{"housecat", "header-co", "body-co", "client-co"} {
+		if !seen[want] {
+			t.Errorf("tenants expvar missing %q (have %v)", want, vars.Tenants)
+		}
+	}
+}
+
+// TestPerTenant429State checks that shedding is per tenant: a tenant
+// at its queue bound is shed with its own queue view in the 429 body,
+// while another tenant's requests still queue.
+func TestPerTenant429State(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueueDepth: 1})
+	url := ts.URL + "/v1/schedule/layer"
+
+	// alpha occupies the worker, then fills its queue of one.
+	hold := func(tenant string) (context.CancelFunc, chan *http.Response) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ch := make(chan *http.Response, 1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(slowBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(tenantHeader, tenant)
+		go func() {
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				ch <- nil
+				return
+			}
+			resp.Body.Close()
+			ch <- resp
+		}()
+		return cancel, ch
+	}
+	cancel1, done1 := hold("alpha")
+	defer cancel1()
+	waitFor(t, "alpha to hold the worker", func() bool {
+		return srv.metrics.searching.Value() == 1
+	})
+	cancel2, done2 := hold("alpha")
+	defer cancel2()
+	waitFor(t, "alpha to fill its queue", func() bool {
+		return srv.admit.Stats().Queued == 1
+	})
+
+	// alpha's third request is shed with alpha's queue view.
+	resp := postJSONTenant(t, url, "alpha", slowBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("alpha burst = %d: %s, want 429", resp.StatusCode, b)
+	}
+	var e ErrorResponse
+	decodeBody(t, resp, &e)
+	if e.State == nil || e.State.Tenant == nil {
+		t.Fatalf("429 body missing tenant state: %+v", e)
+	}
+	ten := e.State.Tenant
+	if ten.Name != "alpha" || ten.Queued != 1 || ten.QueueLimit != 1 || ten.Position != 2 {
+		t.Errorf("tenant state = %+v, want alpha queued 1 of limit 1 at position 2", ten)
+	}
+
+	// beta is not at its bound: its request queues instead of shedding.
+	cancel3, done3 := hold("beta")
+	defer cancel3()
+	waitFor(t, "beta to queue despite alpha's full queue", func() bool {
+		return srv.admit.Stats().Queued == 2
+	})
+
+	cancel1()
+	cancel2()
+	cancel3()
+	<-done1
+	<-done2
+	<-done3
+}
+
+// TestStreamPreemptionEndToEnd is the serving-layer determinism
+// acceptance path: with one worker, an interactive layer request
+// preempts a streaming network sweep at a candidate boundary; the
+// sweep reports a preempted progress event, requeues, restarts, and
+// its final result is bit-identical to an uninterrupted control run.
+func TestStreamPreemptionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network search is seconds of work")
+	}
+	netBody := `{"arch": "arch1", "network": "vgg16", "scale": 8,
+	             "options": {"budget": "quick"}, "timeout_ms": 300000, "tenant": "sweeps"}`
+
+	// Control: the same sweep on a separate server, never interrupted.
+	_, controlTS := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, controlTS.URL+"/v1/schedule/network", netBody)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("control POST = %d: %s", resp.StatusCode, b)
+	}
+	var control NetworkResponse
+	decodeBody(t, resp, &control)
+
+	// Preempted run: stream the sweep, then stab it with an interactive
+	// layer request once it is searching.
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule/network?stream=1", strings.NewReader(netBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(stream.Body)
+		t.Fatalf("stream POST = %d: %s", stream.StatusCode, b)
+	}
+
+	var (
+		got          *NetworkResponse
+		sawPreempted bool
+		stabbed      bool
+	)
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "progress":
+			if ev.Preempted {
+				sawPreempted = true
+			}
+			if !stabbed {
+				// The sweep is on the worker; an interactive request must
+				// preempt it at the next candidate boundary.
+				stabbed = true
+				quick := `{"arch": "arch1", "shape": ` + smallShape + `, "tenant": "dash", "timeout_ms": 60000}`
+				r := postJSON(t, ts.URL+"/v1/schedule/layer", quick)
+				if r.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(r.Body)
+					t.Fatalf("interactive stab = %d: %s", r.StatusCode, b)
+				}
+			}
+		case "result":
+			got = ev.NetworkResult
+		case "error":
+			t.Fatalf("stream ended in error: %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if got == nil {
+		t.Fatal("stream ended without a result event")
+	}
+	if !sawPreempted {
+		t.Error("no progress event with preempted=true; the sweep was never preempted")
+	}
+	if n := srv.metrics.requeued.Value(); n < 1 {
+		t.Errorf("requests_requeued_total = %d, want >= 1", n)
+	}
+	if n := srv.metrics.preempted.Value(); n < 1 {
+		t.Errorf("requests_preempted_total = %d, want >= 1", n)
+	}
+
+	// Bit-identical to the uninterrupted control run.
+	if got.OoOCycles != control.OoOCycles || got.StaticCycles != control.StaticCycles ||
+		got.OoOTrafficBytes != control.OoOTrafficBytes || got.StaticTrafficBytes != control.StaticTrafficBytes {
+		t.Errorf("totals after preemption (%d %d %d %d) differ from control (%d %d %d %d)",
+			got.OoOCycles, got.StaticCycles, got.OoOTrafficBytes, got.StaticTrafficBytes,
+			control.OoOCycles, control.StaticCycles, control.OoOTrafficBytes, control.StaticTrafficBytes)
+	}
+	if len(got.Layers) != len(control.Layers) {
+		t.Fatalf("layer count %d vs control %d", len(got.Layers), len(control.Layers))
+	}
+	for i, g := range got.Layers {
+		c := control.Layers[i]
+		if g.OoOCycles != c.OoOCycles || g.StaticCycles != c.StaticCycles ||
+			g.Tiling != c.Tiling || g.StaticOrder != c.StaticOrder {
+			t.Errorf("layer %s: preempted run (%d cyc, %q, %q) differs from control (%d cyc, %q, %q)",
+				g.Layer, g.OoOCycles, g.Tiling, g.StaticOrder, c.OoOCycles, c.Tiling, c.StaticOrder)
+		}
+	}
+}
+
+// TestPanicReleasesSlot checks the panic-safe release path: a search
+// that panics becomes a 500-mapped panicError, the worker slot comes
+// back, and the next request runs normally.
+func TestPanicReleasesSlot(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+	adm := admission.Request{Tenant: "t", Tier: admission.TierInteractive}
+
+	_, err := srv.search(context.Background(), 0, adm, func(context.Context, search.CheckInFunc) (any, error) {
+		panic("kaboom")
+	})
+	var pan panicError
+	if !errors.As(err, &pan) {
+		t.Fatalf("panicking search returned %v, want panicError", err)
+	}
+	if !strings.Contains(pan.Error(), "kaboom") {
+		t.Errorf("panicError = %q, want the panic value", pan.Error())
+	}
+	if got := srv.metrics.panics.Value(); got != 1 {
+		t.Errorf("search_panics_total = %d, want 1", got)
+	}
+	if got := srv.metrics.searching.Value(); got != 0 {
+		t.Errorf("searching gauge = %d after panic, want 0", got)
+	}
+
+	// The single slot must be back: a normal search completes.
+	v, err := srv.search(context.Background(), 0, adm, func(context.Context, search.CheckInFunc) (any, error) {
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("post-panic search = %v, %v; want ok (slot leaked?)", v, err)
+	}
+
+	// And fail maps it to 500 for HTTP clients.
+	rec := httptest.NewRecorder()
+	srv.fail(rec, pan)
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("fail(panicError) wrote %d, want 500", rec.Code)
+	}
+}
+
+// TestRetryAfterRecoversFromOutlier checks the decayed-mean fix: one
+// cold multi-minute sweep must not inflate Retry-After hints forever.
+// After a burst of fast requests the hint returns to the floor even
+// though the lifetime mean stays huge.
+func TestRetryAfterRecoversFromOutlier(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1})
+
+	srv.metrics.latency.Observe(4 * time.Minute)
+	if ra := srv.retryAfter(); ra < 30*time.Second {
+		t.Fatalf("retryAfter right after outlier = %v, want a large hint", ra)
+	}
+	for i := 0; i < 40; i++ {
+		srv.metrics.latency.Observe(50 * time.Millisecond)
+	}
+
+	if mean := srv.metrics.latency.MeanMS(); mean < 5000 {
+		t.Errorf("lifetime MeanMS = %.0f, want still dominated by the outlier", mean)
+	}
+	if dm := srv.metrics.latency.DecayedMeanMS(); dm > 1000 {
+		t.Errorf("DecayedMeanMS = %.0f after fast burst, want < 1000 (recovered)", dm)
+	}
+	if ra := srv.retryAfter(); ra > 2*time.Second {
+		t.Errorf("retryAfter = %v after fast burst, want back near the 1s floor", ra)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
 	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/nets"
@@ -132,6 +133,11 @@ type LayerRequest struct {
 	// TimeoutMS bounds the search wall-clock for this request in
 	// milliseconds (0 = server default; capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the admission-scheduler tenant that queues and is
+	// billed for this request; the X-Flexer-Tenant header is the
+	// alternative (the body field wins when both are set, and empty
+	// means the server's default tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Full includes the per-op and per-DMA timelines in the response
 	// schedules (can be large: one record per tile operation).
 	Full bool `json:"full,omitempty"`
@@ -156,6 +162,9 @@ type NetworkRequest struct {
 	// TimeoutMS bounds the search wall-clock for this request in
 	// milliseconds (0 = server default; capped at the server maximum).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the admission-scheduler tenant that queues and is
+	// billed for this request; see LayerRequest.Tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // LayerResponse is the body returned by POST /v1/schedule/layer.
@@ -262,26 +271,73 @@ type ErrorResponse struct {
 // ServerStateJSON is a point-in-time view of the serving pipeline,
 // attached to shed and timed-out responses.
 type ServerStateJSON struct {
-	// Queued is the number of requests waiting for a worker slot.
+	// Queued is the number of requests waiting for a worker slot,
+	// summed across tenants.
 	Queued int64 `json:"queued"`
-	// QueueLimit is the configured admission bound (negative =
-	// unlimited).
+	// QueueLimit is the configured per-tenant admission bound
+	// (negative = unlimited).
 	QueueLimit int `json:"queue_limit"`
 	// Searching is the number of searches currently holding a slot.
 	Searching int64 `json:"searching"`
 	// Workers is the worker-pool size.
 	Workers int `json:"workers"`
+	// Tenant is the shed request's own queue view, present on 429
+	// responses: how deep its tenant's queue was and the position the
+	// request would have occupied.
+	Tenant *TenantStateJSON `json:"tenant,omitempty"`
 	// Cache is the shared result cache's hit/miss/eviction snapshot.
 	Cache search.CacheStats `json:"cache"`
 }
 
-// overloadedError is returned by the admission check when the schedule
-// queue is full; the handler maps it to 429 with a Retry-After header.
-type overloadedError struct{ retryAfter time.Duration }
+// TenantStateJSON is the per-tenant queue view attached to a shed
+// request's 429 body.
+type TenantStateJSON struct {
+	// Name is the tenant the request was billed to.
+	Name string `json:"name"`
+	// Queued is how many of the tenant's requests were waiting when
+	// this one was shed.
+	Queued int `json:"queued"`
+	// QueueLimit is the per-tenant queue bound that was hit.
+	QueueLimit int `json:"queue_limit"`
+	// Position is the 1-based queue position the shed request would
+	// have occupied.
+	Position int `json:"position"`
+}
+
+// tenantState converts an admission shed error into the wire view
+// attached to 429 bodies; nil stays nil.
+func tenantState(qf *admission.QueueFullError) *TenantStateJSON {
+	if qf == nil {
+		return nil
+	}
+	return &TenantStateJSON{
+		Name:       qf.Tenant,
+		Queued:     qf.Queued,
+		QueueLimit: qf.Limit,
+		Position:   qf.Position,
+	}
+}
+
+// overloadedError is returned by the admission check when the tenant's
+// schedule queue is full; the handler maps it to 429 with a
+// Retry-After header and the tenant's queue view.
+type overloadedError struct {
+	retryAfter time.Duration
+	queue      *admission.QueueFullError
+}
 
 // Error describes the shed.
 func (e overloadedError) Error() string {
 	return fmt.Sprintf("server overloaded: schedule queue is full, retry in %v", e.retryAfter)
+}
+
+// panicError wraps a panic recovered from a search function so the
+// handler can map it to a 500 after the worker slot was restored.
+type panicError struct{ val any }
+
+// Error describes the panic.
+func (e panicError) Error() string {
+	return fmt.Sprintf("internal error: search panicked: %v", e.val)
 }
 
 // badRequestError marks client mistakes (unknown names, invalid
