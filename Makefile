@@ -3,13 +3,14 @@
 
 GO ?= go
 
-# Combined statement coverage required of internal/serve + internal/search.
+# Combined statement coverage required of internal/serve +
+# internal/search + internal/dfg + internal/sched.
 COVER_MIN ?= 70
 
 .PHONY: check build vet test test-short fairness bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
 
 # The committed benchmark record the regression guard compares against.
-BENCH_BASELINE ?= BENCH_0006.json
+BENCH_BASELINE ?= BENCH_0009.json
 
 check: build vet test
 
@@ -58,17 +59,20 @@ bench-guard:
 	$(GO) run ./cmd/flexerbench -preset quick -json bench-new.json -guard $(BENCH_BASELINE)
 
 # Short native-fuzzing run over the packages with fuzz targets: the
-# schedule verifier (repaired schedules under random fault plans) and
-# the scratchpad allocator. Each package must hold exactly one Fuzz*
-# function for -fuzz=Fuzz to select. Skipped with a hint on toolchains
-# without native fuzzing support, so the target never hard-fails on an
-# old local Go (CI always has a current one).
+# schedule verifier (repaired schedules under random fault plans), the
+# scratchpad allocator, and the fused-graph pipeline (random two-layer
+# fusions scheduled and verified end to end, including the cross-layer
+# residency checks). Each package must hold exactly one Fuzz* function
+# for -fuzz=Fuzz to select. Skipped with a hint on toolchains without
+# native fuzzing support, so the target never hard-fails on an old
+# local Go (CI always has a current one).
 FUZZTIME ?= 20s
 
 fuzz-smoke:
 	@if $(GO) help testflag 2>/dev/null | grep -q -- '-fuzz '; then \
 		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/verify && \
-		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spm; \
+		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/spm && \
+		$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) -run='^$$' ./internal/dfg; \
 	else \
 		echo "fuzz-smoke: this Go toolchain lacks native fuzzing, skipping"; \
 	fi
@@ -94,21 +98,21 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=count -coverpkg=./internal/... ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Gate: combined statement coverage of internal/serve + internal/search
-# must be at least COVER_MIN percent; the path pattern matches every
-# package under those trees, so internal/serve/admission is gated too.
-# Run `make cover` first (CI runs both; this target depends on
-# cover.out existing).
+# Gate: combined statement coverage of internal/serve, internal/search,
+# internal/dfg and internal/sched must be at least COVER_MIN percent;
+# the path pattern matches every package under those trees, so
+# internal/serve/admission is gated too. Run `make cover` first (CI
+# runs both; this target depends on cover.out existing).
 cover-check: cover
 	@awk ' \
-		NR > 1 && $$1 ~ /internal\/(serve|search)\// { \
+		NR > 1 && $$1 ~ /internal\/(serve|search|dfg|sched)\// { \
 			stmts[$$1] = $$2; counts[$$1] += $$3; \
 		} \
 		END { \
 			for (k in stmts) { total += stmts[k]; if (counts[k] > 0) covered += stmts[k] } \
 			if (total == 0) { print "cover-check: no statements found"; exit 1 } \
 			pct = 100 * covered / total; \
-			printf "cover-check: internal/serve+internal/search coverage %.1f%% (floor $(COVER_MIN)%%)\n", pct; \
+			printf "cover-check: serve+search+dfg+sched coverage %.1f%% (floor $(COVER_MIN)%%)\n", pct; \
 			if (pct < $(COVER_MIN)) exit 1; \
 		}' cover.out
 

@@ -44,6 +44,7 @@ func run() error {
 	list := flag.Bool("list", false, "list available archs, networks and layers, then exit")
 	faultSpec := flag.String("fault", "", `fault plan for degraded-mode evaluation, e.g. "core1@5000,dma@5000x1.5"`)
 	faultSeed := flag.Int64("fault-seed", 0, "generate a random survivable fault plan from this seed (layer mode; overrides -fault)")
+	fuseDepth := flag.Int("fuse-depth", 0, "fuse up to this many consecutive layer boundaries into cross-layer schedules (network mode; 0 = layerwise)")
 	flag.Parse()
 
 	if *list {
@@ -121,6 +122,10 @@ func run() error {
 	if *faultSeed != 0 {
 		return fmt.Errorf("-fault-seed needs -layer (the horizon is one layer's makespan)")
 	}
+	if *fuseDepth < 0 {
+		return fmt.Errorf("-fuse-depth must be >= 0, got %d", *fuseDepth)
+	}
+	opts.FuseDepth = *fuseDepth
 	return runNetwork(net, opts)
 }
 
@@ -267,6 +272,21 @@ func runNetwork(net flexer.Network, opts flexer.Options) error {
 				lr.Layer.Name, lr.BestOoO.Factors,
 				lr.BestOoO.LatencyCycles, lr.BestStatic.LatencyCycles,
 				lr.Speedup(), lr.TrafficReduction())
+		}
+	}
+	if nr.FuseDepth > 0 {
+		fmt.Printf("\nfusion (depth %d): %d segment(s)\n", nr.FuseDepth, len(nr.Segments))
+		for _, s := range nr.Segments {
+			fmt.Printf("  %s..%s: %d cycles / %s (layerwise %d / %s, gathered %s on-chip)\n",
+				nr.Layers[s.First].Layer.Name, nr.Layers[s.Last].Layer.Name,
+				s.Result.LatencyCycles, stats.FormatBytes(s.Result.TrafficBytes()),
+				s.LayerwiseCycles, stats.FormatBytes(s.LayerwiseTraffic),
+				stats.FormatBytes(s.Result.GatherBytes))
+		}
+		for _, b := range nr.Boundaries {
+			if !b.Fused {
+				fmt.Printf("  %s->%s not fused: %s\n", b.Producer, b.Consumer, b.Reason)
+			}
 		}
 	}
 	oooLat, staticLat, oooT, staticT := nr.Totals()

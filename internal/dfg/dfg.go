@@ -33,8 +33,12 @@ type Op struct {
 	// produced partial sum (IC > 0).
 	ReadsPsum bool
 	// Final reports whether the op produces the finished output tile
-	// (IC == NIC-1); the tile must then reach off-chip memory.
+	// (IC == NIC-1); the tile must then reach off-chip memory (or, in a
+	// fused graph, feed the next layer on-chip).
 	Final bool
+	// Layer is the op's layer index within a fused graph (0 in
+	// single-layer graphs).
+	Layer int
 	// Cycles is the compute latency from the performance model.
 	Cycles int64
 }
@@ -49,15 +53,121 @@ func (o Op) String() string {
 	return s
 }
 
-// Graph is the tiled DFG of one layer under one tiling.
+// Graph is the tiled DFG of one layer under one tiling, or — built with
+// BuildFused — of several consecutive layers stitched into one graph in
+// which each consumer-layer input tile depends on the producer-layer
+// output tiles covering its halo.
 type Graph struct {
+	// Grid is the first (or only) layer's grid; kept as a field so the
+	// single-layer scheduler path is unchanged.
 	Grid *tile.Grid
 	Ops  []Op
 	// uses[id] is the total number of op accesses to each tile: every
 	// op touches its IN and WT once and its OT once (write or
-	// read-modify-write). Spill heuristics derive remaining-use counts
-	// from these totals.
+	// read-modify-write). In a fused graph each producer output tile is
+	// additionally charged one use per consumer input tile it covers
+	// (released when that input tile's own uses are exhausted). Spill
+	// heuristics derive remaining-use counts from these totals.
 	uses map[tile.ID]int
+
+	// Fused-graph state; all nil/zero for single-layer graphs.
+	grids      []*tile.Grid          // per-layer grids, grids[0] == Grid
+	opOffset   []int                 // first op index of each layer
+	cover      map[tile.ID][]tile.ID // consumer IN tile -> covering producer OTs
+	crossSuccs map[int][]int         // producer final op -> dependent consumer ops
+	crossPreds map[int][]int         // consumer op -> producer final ops of its IN's cover
+	lastLayer  int
+}
+
+// Fused reports whether the graph spans more than one layer.
+func (gr *Graph) Fused() bool { return gr.lastLayer > 0 }
+
+// NumLayers returns the number of stitched layers (1 for Build graphs).
+func (gr *Graph) NumLayers() int { return gr.lastLayer + 1 }
+
+// LastLayer returns the index of the final layer (0 for Build graphs).
+func (gr *Graph) LastLayer() int { return gr.lastLayer }
+
+// Grids returns the per-layer grids (length NumLayers). For
+// single-layer graphs it returns a one-element view of Grid.
+func (gr *Graph) Grids() []*tile.Grid {
+	if gr.grids == nil {
+		return []*tile.Grid{gr.Grid}
+	}
+	return gr.grids
+}
+
+// Size returns the byte size of id, dispatching on its layer.
+func (gr *Graph) Size(id tile.ID) int64 {
+	if id.L == 0 {
+		return gr.Grid.Size(id)
+	}
+	return gr.grids[id.L].Size(id)
+}
+
+// Covering returns the producer output tiles covering the fused
+// consumer input tile id (nil for first-layer inputs and single-layer
+// graphs). The returned slice is shared; callers must not modify it.
+func (gr *Graph) Covering(id tile.ID) []tile.ID {
+	if gr.cover == nil {
+		return nil
+	}
+	return gr.cover[id]
+}
+
+// CrossPreds returns the producer-layer ops that must complete before
+// op i can run, beyond its chain predecessor: the final accumulation
+// ops of every output tile covering op i's input tile. Nil for
+// first-layer ops and single-layer graphs.
+func (gr *Graph) CrossPreds(i int) []int {
+	if gr.crossPreds == nil {
+		return nil
+	}
+	return gr.crossPreds[i]
+}
+
+// CrossSuccs returns the consumer-layer ops depending on op i across a
+// fused boundary (non-empty only for producer final ops whose output
+// tile covers some consumer input).
+func (gr *Graph) CrossSuccs(i int) []int {
+	if gr.crossSuccs == nil {
+		return nil
+	}
+	return gr.crossSuccs[i]
+}
+
+// FinalOp returns the index of the op that finally produces output tile
+// ot (its last accumulation step).
+func (gr *Graph) FinalOp(ot tile.ID) int {
+	g := gr.Grid
+	off := 0
+	if ot.L > 0 {
+		g = gr.grids[ot.L]
+		off = gr.opOffset[ot.L]
+	}
+	return off + ((ot.A*g.NOW+ot.B)*g.NOC+ot.C)*g.NIC + (g.NIC - 1)
+}
+
+// PendingInto fills dst with every op's dependency in-degree (chain
+// predecessor plus cross-layer predecessors) and returns it, reusing
+// dst's capacity. The scheduler seeds its ready tracking from this; for
+// single-layer graphs pending[i] is 1 exactly when IC > 0, so readiness
+// is identical to the layerwise scheduler's.
+func (gr *Graph) PendingInto(dst []int) []int {
+	if cap(dst) >= len(gr.Ops) {
+		dst = dst[:len(gr.Ops)]
+	} else {
+		dst = make([]int, len(gr.Ops))
+	}
+	for i := range gr.Ops {
+		n := 0
+		if gr.Ops[i].IC > 0 {
+			n = 1
+		}
+		n += len(gr.CrossPreds(i))
+		dst[i] = n
+	}
+	return dst
 }
 
 // Build constructs the DFG for grid g with latencies from m. Ops are

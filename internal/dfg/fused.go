@@ -1,0 +1,159 @@
+package dfg
+
+// Inter-layer fusion: BuildFused stitches the tile graphs of
+// consecutive layers into one DFG. The stitching rule mirrors the
+// dataflow of the real machine: a consumer-layer input tile IN@l(h,w,i)
+// reads the producer layer's output elements inside its halo, so it
+// depends on exactly the producer output tiles OT@l-1 whose output
+// blocks intersect that halo. The scheduler may then assemble the
+// consumer tile from scratchpad-resident producer tiles (an on-chip
+// gather, no off-chip traffic) or fall back to a DRAM round-trip when
+// capacity forces the producers out early.
+
+import (
+	"fmt"
+
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// CheckFusable reports whether next can consume prev's output directly:
+// the tensor shapes must line up exactly (no pooling, reshaping or
+// format change between them).
+func CheckFusable(prev, next layer.Conv) error {
+	if next.InH != prev.OutH() || next.InW != prev.OutW() || next.InC != prev.OutC {
+		return fmt.Errorf("dfg: %s output %dx%dx%d does not feed %s input %dx%dx%d",
+			prev.Name, prev.OutH(), prev.OutW(), prev.OutC,
+			next.Name, next.InH, next.InW, next.InC)
+	}
+	if next.ElemBytes != prev.ElemBytes {
+		return fmt.Errorf("dfg: %s produces %d-byte elements, %s consumes %d-byte",
+			prev.Name, prev.ElemBytes, next.Name, next.ElemBytes)
+	}
+	return nil
+}
+
+// BuildFused constructs one DFG spanning all of grids, in layer order.
+// Ops are laid out layer by layer, each layer in the canonical
+// (oh, ow, oc, ic) order of Build, so the chain predecessor of any op
+// with IC > 0 is still the preceding op. Tile IDs of layer l carry
+// L = l. Every consecutive pair of grids must satisfy CheckFusable.
+// A single grid reduces exactly to Build.
+func BuildFused(grids []*tile.Grid, m model.Model) (*Graph, error) {
+	if len(grids) == 0 {
+		return nil, fmt.Errorf("dfg: BuildFused needs at least one grid")
+	}
+	if len(grids) == 1 {
+		return Build(grids[0], m), nil
+	}
+	for l := 1; l < len(grids); l++ {
+		if err := CheckFusable(grids[l-1].Layer, grids[l].Layer); err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, g := range grids {
+		total += g.NumOps()
+	}
+	gr := &Graph{
+		Grid:       grids[0],
+		Ops:        make([]Op, 0, total),
+		uses:       make(map[tile.ID]int),
+		grids:      grids,
+		opOffset:   make([]int, len(grids)),
+		cover:      make(map[tile.ID][]tile.ID),
+		crossSuccs: make(map[int][]int),
+		crossPreds: make(map[int][]int),
+		lastLayer:  len(grids) - 1,
+	}
+	id := 0
+	for l, g := range grids {
+		gr.opOffset[l] = id
+		conv := g.Layer
+		for oh := 0; oh < g.NOH; oh++ {
+			for ow := 0; ow < g.NOW; ow++ {
+				for oc := 0; oc < g.NOC; oc++ {
+					for ic := 0; ic < g.NIC; ic++ {
+						rows, cols, ochs, ichs := g.OpDims(oh, ow, oc, ic)
+						op := Op{
+							ID: id,
+							OH: oh, OW: ow, OC: oc, IC: ic,
+							In:        tile.ID{Kind: tile.In, A: oh, B: ow, C: ic, L: l},
+							Wt:        tile.ID{Kind: tile.Wt, A: oc, B: ic, L: l},
+							Out:       tile.ID{Kind: tile.Out, A: oh, B: ow, C: oc, L: l},
+							ReadsPsum: ic > 0,
+							Final:     ic == g.NIC-1,
+							Layer:     l,
+							Cycles:    m.ConvCycles(rows, cols, ochs, ichs, conv.KerH, conv.KerW),
+						}
+						gr.Ops = append(gr.Ops, op)
+						gr.uses[op.In]++
+						gr.uses[op.Wt]++
+						gr.uses[op.Out]++
+						id++
+					}
+				}
+			}
+		}
+	}
+
+	// Stitch each boundary: map every consumer input tile's halo onto
+	// the producer's output blocks. The covering tiles gain one use per
+	// covered consumer input tile — released by the scheduler when that
+	// input tile's own uses run out — so spill heuristics see producer
+	// outputs as live until every consumer that needs them has read
+	// them (directly or via a DRAM round-trip).
+	for l := 1; l < len(grids); l++ {
+		gc, gp := grids[l], grids[l-1]
+		for oh := 0; oh < gc.NOH; oh++ {
+			rowLo, rowN := gc.InRowRange(oh)
+			for ow := 0; ow < gc.NOW; ow++ {
+				colLo, colN := gc.InColRange(ow)
+				for ic := 0; ic < gc.NIC; ic++ {
+					chLo, chN := gc.ICRange(ic)
+					in := tile.ID{Kind: tile.In, A: oh, B: ow, C: ic, L: l}
+					if rowN == 0 || colN == 0 || chN == 0 {
+						continue // halo fully in padding: nothing to cover
+					}
+					h0, h1 := tile.BlockRange(rowLo, rowN, gp.F.OH, gp.NOH)
+					w0, w1 := tile.BlockRange(colLo, colN, gp.F.OW, gp.NOW)
+					c0, c1 := tile.BlockRange(chLo, chN, gp.F.OC, gp.NOC)
+					var ots []tile.ID
+					for h := h0; h <= h1; h++ {
+						for w := w0; w <= w1; w++ {
+							for c := c0; c <= c1; c++ {
+								ot := tile.ID{Kind: tile.Out, A: h, B: w, C: c, L: l - 1}
+								ots = append(ots, ot)
+								gr.uses[ot]++
+							}
+						}
+					}
+					gr.cover[in] = ots
+				}
+			}
+		}
+	}
+
+	// Cross edges: every consumer op depends on the final accumulation
+	// op of each tile covering its input, so the scheduler cannot start
+	// it before the data it gathers (or round-trips) exists.
+	for i := range gr.Ops {
+		op := &gr.Ops[i]
+		if op.Layer == 0 {
+			continue
+		}
+		ots := gr.cover[op.In]
+		if len(ots) == 0 {
+			continue
+		}
+		preds := make([]int, 0, len(ots))
+		for _, ot := range ots {
+			f := gr.FinalOp(ot)
+			preds = append(preds, f)
+			gr.crossSuccs[f] = append(gr.crossSuccs[f], i)
+		}
+		gr.crossPreds[i] = preds
+	}
+	return gr, nil
+}

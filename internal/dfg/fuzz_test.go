@@ -1,0 +1,134 @@
+package dfg_test
+
+// Native fuzz target for the fused-graph pipeline: random two-layer
+// fusions are built, scheduled and checked against the independent
+// verifier's cross-layer residency rules. The target lives in an
+// external test package because it drives internal/sched and
+// internal/verify, which themselves import internal/dfg.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/sim"
+	"github.com/flexer-sched/flexer/internal/spm"
+	"github.com/flexer-sched/flexer/internal/tile"
+	"github.com/flexer-sched/flexer/internal/verify"
+)
+
+// FuzzFusedResidency builds a random fusable two-layer network, fuses
+// and schedules it, and requires every produced schedule to pass the
+// strict cross-layer verifier (gathers only after all covering
+// producers finish; DRAM loads of fused inputs only after every
+// producer has a current off-chip copy). It then corrupts the schedule
+// — moving a gather to cycle zero and dropping a final-layer writeback
+// — and requires the verifier to reject both. Infeasible combinations
+// must error, never panic.
+func FuzzFusedResidency(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		inH := rng.Intn(12) + 6
+		inC := []int{8, 16, 32}[rng.Intn(3)]
+		midC := []int{8, 16, 32}[rng.Intn(3)]
+		outC := []int{8, 16}[rng.Intn(2)]
+		k1 := []int{1, 3}[rng.Intn(2)]
+		k2 := []int{1, 3}[rng.Intn(2)]
+		l1 := layer.NewConv("p", inH, inH, inC, midC, k1)
+		if l1.Validate() != nil {
+			return
+		}
+		l2 := layer.NewConv("c", l1.OutH(), l1.OutW(), midC, outC, k2)
+		if l2.Validate() != nil || dfg.CheckFusable(l1, l2) != nil {
+			return
+		}
+
+		randFactors := func(l layer.Conv, inC int) tile.Factors {
+			return tile.Factors{
+				OH: rng.Intn(l.OutH()) + 1,
+				OW: rng.Intn(l.OutW()) + 1,
+				OC: rng.Intn(l.OutC) + 1,
+				IC: rng.Intn(inC) + 1,
+			}
+		}
+		g1, err := tile.NewGrid(l1, randFactors(l1, inC))
+		if err != nil {
+			return
+		}
+		g2, err := tile.NewGrid(l2, randFactors(l2, midC))
+		if err != nil {
+			return
+		}
+		if g1.NumOps()+g2.NumOps() > 400 {
+			return // keep the fuzz cheap
+		}
+
+		cores := rng.Intn(3) + 2
+		spmKiB := int64(rng.Intn(232) + 24)
+		a := arch.New("fz", cores, arch.KiB(spmKiB), 32)
+		m := model.New(a)
+		gr, err := dfg.BuildFused([]*tile.Grid{g1, g2}, m)
+		if err != nil {
+			t.Fatalf("seed %d: BuildFused rejected a fusable pair (%s -> %s): %v", seed, l1, l2, err)
+		}
+		cfg := sched.Config{
+			Arch:      a,
+			Model:     m,
+			Priority:  sched.Priority(rng.Intn(3)),
+			MemPolicy: spm.Policy(rng.Intn(3)),
+		}
+		r, err := sched.Schedule(gr, cfg)
+		if err != nil {
+			return // infeasible (e.g. tiles exceed the scratchpad) is legal
+		}
+		if err := verify.Schedule(gr, r, a); err != nil {
+			t.Fatalf("seed %d (%s -> %s, %d cores, %d KiB): fused schedule fails verification: %v",
+				seed, l1, l2, cores, spmKiB, err)
+		}
+
+		// Corrupt a gather: starting at cycle zero puts it before its
+		// covering producers finish (and on top of earlier DMA work).
+		for i, mr := range r.MemRecords {
+			if mr.Kind != sim.Gather {
+				continue
+			}
+			bad := *r
+			bad.MemRecords = append([]sim.MemRecord(nil), r.MemRecords...)
+			bad.MemRecords[i].End -= bad.MemRecords[i].Start
+			bad.MemRecords[i].Start = 0
+			if verify.Schedule(gr, &bad, a) == nil {
+				t.Fatalf("seed %d: verifier accepted a gather moved to cycle 0", seed)
+			}
+			break
+		}
+		// Drop a writeback: a final-layer output then never reaches
+		// DRAM. Only tiles with no other off-chip write qualify — a
+		// spill after the final accumulation also legitimately covers
+		// the output.
+		offchip := make(map[tile.ID]int)
+		for _, mr := range r.MemRecords {
+			if mr.Kind == sim.Spill || mr.Kind == sim.Writeback {
+				offchip[mr.Tile]++
+			}
+		}
+		for i, mr := range r.MemRecords {
+			if mr.Kind != sim.Writeback || offchip[mr.Tile] != 1 {
+				continue
+			}
+			bad := *r
+			bad.MemRecords = append([]sim.MemRecord(nil), r.MemRecords[:i]...)
+			bad.MemRecords = append(bad.MemRecords, r.MemRecords[i+1:]...)
+			if verify.Schedule(gr, &bad, a) == nil {
+				t.Fatalf("seed %d: verifier accepted a schedule missing a final writeback", seed)
+			}
+			break
+		}
+	})
+}

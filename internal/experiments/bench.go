@@ -28,11 +28,17 @@ type BenchPreset struct {
 	Arch    string `json:"arch"`
 	Scale   int    `json:"scale"`
 	Budget  string `json:"budget"` // "quick" or "default"
+	// FuseDepth enables the inter-layer fusion pass (0 = layerwise).
+	// A fused preset is guarded against its layerwise twin — same
+	// network, arch, scale and budget with FuseDepth 0 — which must
+	// also be in the run.
+	FuseDepth int `json:"fuse_depth,omitempty"`
 }
 
 // benchPresetTable is the canonical preset registry.
 var benchPresetTable = []BenchPreset{
 	{Name: "vgg16-quick", Network: "vgg16", Arch: "arch5", Scale: 4, Budget: "quick"},
+	{Name: "vgg16-quick-fused", Network: "vgg16", Arch: "arch5", Scale: 4, Budget: "quick", FuseDepth: 1},
 	{Name: "resnet50-quick", Network: "resnet50", Arch: "arch5", Scale: 4, Budget: "quick"},
 	{Name: "squeezenet-quick", Network: "squeezenet", Arch: "arch5", Scale: 4, Budget: "quick"},
 	{Name: "vgg16-full", Network: "vgg16", Arch: "arch5", Scale: 2, Budget: "default"},
@@ -89,6 +95,11 @@ type BenchResult struct {
 	Budget  string `json:"budget"`
 	Layers  int    `json:"layers"`
 
+	// FuseDepth echoes the preset's fusion setting; FusedSegments counts
+	// the segments the fusion pass accepted (0 for layerwise runs).
+	FuseDepth     int `json:"fuse_depth,omitempty"`
+	FusedSegments int `json:"fused_segments,omitempty"`
+
 	BestOoOCycles    int64 `json:"best_ooo_cycles"`
 	BestOoOTraffic   int64 `json:"best_ooo_traffic_bytes"`
 	BestStaticCycles int64 `json:"best_static_cycles"`
@@ -144,7 +155,7 @@ func RunBenchPreset(p BenchPreset, workers int) (BenchResult, error) {
 		return BenchResult{}, fmt.Errorf("preset %s: %w", p.Name, err)
 	}
 	n = n.Scale(p.Scale)
-	opts := search.Options{Arch: a, Budget: budget, Workers: workers, Cache: search.NewCache()}
+	opts := search.Options{Arch: a, Budget: budget, Workers: workers, Cache: search.NewCache(), FuseDepth: p.FuseDepth}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -160,10 +171,12 @@ func RunBenchPreset(p BenchPreset, workers int) (BenchResult, error) {
 	res := BenchResult{
 		Preset: p.Name, Network: p.Network, Arch: p.Arch,
 		Scale: p.Scale, Budget: p.Budget,
-		Layers:     len(nr.Layers),
-		WallMS:     float64(wall) / float64(time.Millisecond),
-		AllocBytes: after.TotalAlloc - before.TotalAlloc,
-		Allocs:     after.Mallocs - before.Mallocs,
+		Layers:        len(nr.Layers),
+		FuseDepth:     p.FuseDepth,
+		FusedSegments: len(nr.Segments),
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		Allocs:        after.Mallocs - before.Mallocs,
 	}
 	oooLat, staticLat, oooTraffic, _ := nr.Totals()
 	res.BestOoOCycles = oooLat
@@ -236,6 +249,12 @@ func ReadBenchRecord(path string) (*BenchRecord, error) {
 // Presets only one side ran are skipped (CI guards with the quick
 // presets while the committed record also stores the full one); having
 // no preset in common is an error, since the guard would be vacuous.
+//
+// Fresh fused presets (FuseDepth > 0) are additionally checked against
+// their layerwise twin in the same fresh run: fusion must produce
+// strictly fewer cycles AND strictly less off-chip traffic, so a change
+// that silently stops the fusion pass from finding any profitable
+// segment (equal totals) fails the guard too.
 func GuardCompare(committed, fresh *BenchRecord) error {
 	if committed.SchemaVersion != fresh.SchemaVersion {
 		return fmt.Errorf("bench guard: schema version mismatch: committed v%d vs fresh v%d",
@@ -268,8 +287,42 @@ func GuardCompare(committed, fresh *BenchRecord) error {
 	if checked == 0 {
 		return fmt.Errorf("bench guard: no preset in common between committed and fresh records")
 	}
+	for _, r := range fresh.Results {
+		if r.FuseDepth <= 0 {
+			continue
+		}
+		tw, ok := layerwiseTwin(fresh.Results, r)
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fused preset has no layerwise twin (%s/%s scale=%d budget=%s, fuse_depth=0) in the fresh run",
+				r.Preset, r.Network, r.Arch, r.Scale, r.Budget))
+			continue
+		}
+		if r.BestOoOCycles >= tw.BestOoOCycles {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fused cycles %d not strictly below layerwise %s's %d",
+				r.Preset, r.BestOoOCycles, tw.Preset, tw.BestOoOCycles))
+		}
+		if r.BestOoOTraffic >= tw.BestOoOTraffic {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: fused traffic %d bytes not strictly below layerwise %s's %d",
+				r.Preset, r.BestOoOTraffic, tw.Preset, tw.BestOoOTraffic))
+		}
+	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench guard: %s", strings.Join(regressions, "; "))
 	}
 	return nil
+}
+
+// layerwiseTwin finds the FuseDepth-0 result with the same workload
+// parameters as fused in the same run.
+func layerwiseTwin(results []BenchResult, fused BenchResult) (BenchResult, bool) {
+	for _, r := range results {
+		if r.FuseDepth == 0 && r.Network == fused.Network && r.Arch == fused.Arch &&
+			r.Scale == fused.Scale && r.Budget == fused.Budget {
+			return r, true
+		}
+	}
+	return BenchResult{}, false
 }

@@ -72,6 +72,46 @@ func TestGuardCompareMismatches(t *testing.T) {
 	}
 }
 
+// TestGuardCompareFusedInvariant checks the fused-vs-layerwise pairing
+// rule: a fused preset must strictly beat its layerwise twin on both
+// cycles and traffic in the same fresh run.
+func TestGuardCompareFusedInvariant(t *testing.T) {
+	committed := benchRec(map[string]int64{"vgg16-quick": 1000})
+	pair := func(fusedCycles, fusedTraffic int64) *BenchRecord {
+		rec := benchRec(map[string]int64{"vgg16-quick": 1000})
+		rec.Results[0].Network, rec.Results[0].Arch = "vgg16", "arch5"
+		rec.Results[0].Scale, rec.Results[0].Budget = 4, "quick"
+		rec.Results[0].BestOoOTraffic = 5000
+		rec.Results = append(rec.Results, BenchResult{
+			Preset: "vgg16-quick-fused", Network: "vgg16", Arch: "arch5",
+			Scale: 4, Budget: "quick", FuseDepth: 1,
+			BestOoOCycles: fusedCycles, BestOoOTraffic: fusedTraffic,
+			BestStaticCycles: 1100,
+		})
+		return rec
+	}
+
+	if err := GuardCompare(committed, pair(900, 4500)); err != nil {
+		t.Errorf("guard failed a strict fusion win: %v", err)
+	}
+	if err := GuardCompare(committed, pair(1000, 4500)); err == nil {
+		t.Error("guard passed fused cycles equal to layerwise (no strict cycle win)")
+	}
+	if err := GuardCompare(committed, pair(900, 5000)); err == nil {
+		t.Error("guard passed fused traffic equal to layerwise (no strict traffic win)")
+	}
+
+	// A fused preset whose layerwise twin is missing from the run cannot
+	// be checked and must fail loudly, not silently pass.
+	orphan := pair(900, 4500)
+	orphan.Results = orphan.Results[1:]
+	orphan.Results = append(orphan.Results, BenchResult{Preset: "vgg16-quick", BestOoOCycles: 1000})
+	if err := GuardCompare(committed, orphan); err == nil ||
+		!strings.Contains(err.Error(), "no layerwise twin") {
+		t.Errorf("guard did not flag a fused preset without a layerwise twin: %v", err)
+	}
+}
+
 // TestBenchRecordRoundTrip writes and reloads a record.
 func TestBenchRecordRoundTrip(t *testing.T) {
 	rec := benchRec(map[string]int64{"vgg16-quick": 1234})

@@ -64,6 +64,23 @@ func (m Model) TransferCycles(n int64) int64 {
 	return dmaSetupCycles + ceilDiv64(n, int64(m.bwBytes))
 }
 
+// gatherBWFactor is the on-chip bandwidth advantage of SPM-to-SPM
+// copies over off-chip DMA: a gather never crosses the DRAM pins, so it
+// runs at the interconnect's width rather than the memory channel's.
+const gatherBWFactor = 4
+
+// GatherCycles returns the latency of assembling n bytes of a fused
+// consumer tile from scratchpad-resident producer tiles (an on-chip
+// SPM-to-SPM copy). It occupies the same DMA engine as off-chip
+// transfers but moves gatherBWFactor bytes per cycle per byte of
+// off-chip bandwidth and causes no off-chip traffic.
+func (m Model) GatherCycles(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return dmaSetupCycles + ceilDiv64(n, int64(m.bwBytes)*gatherBWFactor)
+}
+
 // FillCycles returns the fixed pipeline fill/drain overhead charged to
 // every tiled op, the additive constant of ConvCycles. Lower-bound
 // computations use it to price op counts without enumerating ops.

@@ -110,13 +110,13 @@ func (e *engine) selectWindow() []int {
 		op := &e.gr.Ops[opIdx]
 		var score int64
 		if e.mem.Has(op.In) {
-			score += e.gr.Grid.Size(op.In)
+			score += e.gr.Size(op.In)
 		}
 		if e.mem.Has(op.Wt) {
-			score += e.gr.Grid.Size(op.Wt)
+			score += e.gr.Size(op.Wt)
 		}
 		if op.ReadsPsum && e.mem.Has(op.Out) {
-			score += e.gr.Grid.Size(op.Out)
+			score += e.gr.Size(op.Out)
 		}
 		e.ranked.scores[i] = score
 	}
@@ -188,23 +188,30 @@ func (e *engine) bestSetOfSize(window []int, size int) *setEval {
 }
 
 // sigRef is one distinct operand tile of a candidate set, as classified
-// by the dataflow-map signature.
+// by the dataflow-map signature. gather marks a fused consumer input
+// currently assemblable on-chip — such an input moves no off-chip data,
+// so it must not be conflated with a same-sized DRAM load.
 type sigRef struct {
 	id      tile.ID
 	kind    uint8
 	present bool
+	gather  bool
 	size    int64
 	count   int
 }
 
-// sigLess orders signature entries by (kind, present, size, count); the
-// tile identity is deliberately not part of the order or the signature.
+// sigLess orders signature entries by (kind, present, gather, size,
+// count); the tile identity is deliberately not part of the order or
+// the signature.
 func sigLess(a, b *sigRef) bool {
 	if a.kind != b.kind {
 		return a.kind < b.kind
 	}
 	if a.present != b.present {
 		return a.present
+	}
+	if a.gather != b.gather {
+		return a.gather
 	}
 	if a.size != b.size {
 		return a.size < b.size
@@ -230,9 +237,22 @@ func (e *engine) setSignature(ops []int) []byte {
 				return
 			}
 		}
+		present := e.mem.Has(id)
+		gather := false
+		if e.fused && !present && id.Kind == tile.In && id.L > 0 {
+			if ots := e.gr.Covering(id); len(ots) > 0 {
+				gather = true
+				for _, ot := range ots {
+					if !e.mem.Has(ot) {
+						gather = false
+						break
+					}
+				}
+			}
+		}
 		refs = append(refs, sigRef{
-			id: id, kind: uint8(id.Kind), present: e.mem.Has(id),
-			size: e.gr.Grid.Size(id), count: 1,
+			id: id, kind: uint8(id.Kind), present: present, gather: gather,
+			size: e.gr.Size(id), count: 1,
 		})
 	}
 	for _, opIdx := range ops {
@@ -253,9 +273,12 @@ func (e *engine) setSignature(ops []int) []byte {
 	for i := range refs {
 		r := &refs[i]
 		buf = append(buf, r.kind)
-		if r.present {
+		switch {
+		case r.present:
 			buf = append(buf, 1)
-		} else {
+		case r.gather:
+			buf = append(buf, 2)
+		default:
 			buf = append(buf, 0)
 		}
 		buf = strconv.AppendInt(buf, r.size, 36)

@@ -5,10 +5,13 @@ import (
 	"github.com/flexer-sched/flexer/internal/tile"
 )
 
-// loadRec is one pending load memory operation.
+// loadRec is one pending load memory operation. gather marks a fused
+// consumer input assembled on-chip from resident producer outputs
+// instead of loaded from DRAM.
 type loadRec struct {
-	id   tile.ID
-	size int64
+	id     tile.ID
+	size   int64
+	gather bool
 }
 
 // setEval is the outcome of simulating one candidate operation set
@@ -71,7 +74,7 @@ func (e *engine) evalSet(ops []int) *setEval {
 	}
 
 	touch := func(id tile.ID, load bool) bool {
-		size := e.gr.Grid.Size(id)
+		size := e.gr.Size(id)
 		if mem.Has(id) {
 			if !isFresh(id) {
 				ev.reused += size
@@ -79,14 +82,54 @@ func (e *engine) evalSet(ops []int) *setEval {
 			mem.Pin(id)
 			return true
 		}
+		// A fused consumer input whose covering producer outputs are all
+		// still resident is assembled on-chip (a gather) instead of
+		// loaded from DRAM. The sources are pinned for the rest of the
+		// set so no later allocation evicts data the gather reads; if
+		// even then the input cannot be placed, the pins are rolled back
+		// and the plain DRAM load is tried before giving up on the set.
+		gather := false
+		var pinned []tile.ID
+		if load && e.fused && id.Kind == tile.In && id.L > 0 {
+			if ots := e.gr.Covering(id); len(ots) > 0 {
+				gather = true
+				for _, ot := range ots {
+					if !mem.Has(ot) {
+						gather = false
+						break
+					}
+				}
+				if gather {
+					for _, ot := range ots {
+						if !mem.Pinned(ot) {
+							mem.Pin(ot)
+							pinned = append(pinned, ot)
+						}
+					}
+				}
+			}
+		}
 		e.fresh = append(e.fresh, id)
 		evs, err := mem.Allocate(id, size, e.remainUses)
+		if err != nil && gather {
+			for _, ot := range pinned {
+				mem.Unpin(ot)
+			}
+			gather = false
+			evs, err = mem.Allocate(id, size, e.remainUses)
+		}
 		if err != nil {
 			return false
 		}
 		if load {
-			ev.loads = append(ev.loads, loadRec{id: id, size: size})
-			ev.loadBytes += size
+			ev.loads = append(ev.loads, loadRec{id: id, size: size, gather: gather})
+			if gather {
+				// Served from on-chip producers: counts as reuse for the
+				// memory-benefit priority and moves no off-chip bytes.
+				ev.reused += size
+			} else {
+				ev.loadBytes += size
+			}
 		}
 		for _, sp := range evs {
 			ev.spills = append(ev.spills, sp)
@@ -125,7 +168,11 @@ func (e *engine) evalSet(ops []int) *setEval {
 		}
 	}
 	for _, ld := range ev.loads {
-		ev.memLat += e.cfg.Model.TransferCycles(ld.size)
+		if ld.gather {
+			ev.memLat += e.cfg.Model.GatherCycles(ld.size)
+		} else {
+			ev.memLat += e.cfg.Model.TransferCycles(ld.size)
+		}
 	}
 	return ev
 }

@@ -84,6 +84,14 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 		remain[op.In]--
 		remain[op.Wt]--
 		remain[op.Out]--
+		// A fused consumer input's covering producer outputs carry one
+		// extra use per covered input; release it when the input's own
+		// uses are exhausted, mirroring the nominal engine.
+		if gr.Fused() && op.In.L > 0 && remain[op.In] == 0 {
+			for _, ot := range gr.Covering(op.In) {
+				remain[ot]--
+			}
+		}
 		if rec.NPU >= 0 && rec.NPU < len(npuFree) && rec.End > npuFree[rec.NPU] {
 			npuFree[rec.NPU] = rec.End
 		}
@@ -106,12 +114,12 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 	type tileEvent struct {
 		id     tile.ID
 		start  int64
-		effect int8 // 0 load (clean), 1 evict, 2 op write (dirty)
+		effect int8 // 0 load/gather (clean), 1 evict, 2 op write (dirty)
 	}
 	var events []tileEvent
 	for _, m := range commitMems {
 		var effect int8 = 1
-		if m.Kind == sim.Load {
+		if m.Kind == sim.Load || m.Kind == sim.Gather {
 			effect = 0
 		}
 		events = append(events, tileEvent{m.Tile, m.Start, effect})
@@ -121,11 +129,35 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].start < events[j].start })
 	dirtyAt := make(map[tile.ID]int64) // dirty-resident tile -> last write start
+	var hasDRAM map[tile.ID]bool       // tile -> DRAM copy current as of last write
+	if gr.Fused() {
+		hasDRAM = make(map[tile.ID]bool)
+	}
 	for _, ev := range events {
-		if ev.effect == 2 {
+		switch ev.effect {
+		case 2:
 			dirtyAt[ev.id] = ev.start
-		} else {
+			if hasDRAM != nil {
+				delete(hasDRAM, ev.id)
+			}
+		case 1:
 			delete(dirtyAt, ev.id)
+			if hasDRAM != nil {
+				hasDRAM[ev.id] = true
+			}
+		default:
+			delete(dirtyAt, ev.id)
+		}
+	}
+	// Dead fused intermediates are dropped traceless by the nominal
+	// engine (no writeback, no spill), so their residency at the fault
+	// cycle cannot be proven and nothing will ever read them again —
+	// exclude them from the rebuilt scratchpad like flush excludes them.
+	if gr.Fused() {
+		for id := range dirtyAt {
+			if id.Kind == tile.Out && id.L < gr.LastLayer() && remain[id] == 0 {
+				delete(dirtyAt, id)
+			}
 		}
 	}
 
@@ -148,7 +180,7 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 	mem.SetInPlace(!cfg.DisableInPlace)
 	remainFn := func(id tile.ID) int { return remain[id] }
 	for _, id := range dirtyTiles {
-		if _, err := mem.Allocate(id, gr.Grid.Size(id), remainFn); err != nil {
+		if _, err := mem.Allocate(id, gr.Size(id), remainFn); err != nil {
 			return nil, fmt.Errorf("sched: repair cannot retain live tile %s: %w", id, err)
 		}
 		mem.SetDirty(id, true)
@@ -156,16 +188,29 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 	mem.UnpinAll()
 
 	// Resume the list scheduler on the leftover ops with the committed
-	// prefix charged to the timeline and the fault plan injected.
+	// prefix charged to the timeline and the fault plan injected. An
+	// uncommitted op waits on every uncommitted predecessor, chain and
+	// cross-layer alike (committed ops never have uncommitted preds:
+	// a pred finishes before its successor starts, hence before fc).
+	pending := make([]int, len(gr.Ops))
 	var ready []int
 	for i := range gr.Ops {
 		if committed[i] {
 			continue
 		}
-		if p := gr.Pred(i); p >= 0 && !committed[p] {
-			continue
+		p := 0
+		if cp := gr.Pred(i); cp >= 0 && !committed[cp] {
+			p++
 		}
-		ready = append(ready, i)
+		for _, c := range gr.CrossPreds(i) {
+			if !committed[c] {
+				p++
+			}
+		}
+		pending[i] = p
+		if p == 0 {
+			ready = append(ready, i)
+		}
 	}
 	cfg.Order, cfg.Hint = nil, nil
 	e := &engine{
@@ -174,6 +219,9 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 		mem:     mem,
 		remain:  remain,
 		ready:   ready,
+		pending: pending,
+		fused:   gr.Fused(),
+		hasDRAM: hasDRAM,
 		opDone:  opDone,
 		writeAt: writeAt,
 		availAt: make(map[tile.ID]int64),
@@ -243,6 +291,9 @@ func Repair(gr *dfg.Graph, nominal *Result, plan *fault.Plan, cfg Config) (*Resu
 func lessID(a, b tile.ID) bool {
 	if a.Kind != b.Kind {
 		return a.Kind < b.Kind
+	}
+	if a.L != b.L {
+		return a.L < b.L
 	}
 	if a.A != b.A {
 		return a.A < b.A

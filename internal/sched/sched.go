@@ -136,12 +136,18 @@ type KindStats struct {
 	SpillCount     int
 	WritebackBytes int64 // finished outputs written off-chip
 	WritebackCount int
+	// GatherBytes/GatherCount are on-chip SPM-to-SPM copies assembling
+	// fused consumer inputs from resident producer outputs; they occupy
+	// the DMA engine but are not off-chip traffic.
+	GatherBytes int64
+	GatherCount int
 	// MoveCounts is the number of DMA movements per tile, the basis of
 	// the reload histograms of Figure 10.
 	MoveCounts map[tile.ID]int
 }
 
-// TotalBytes returns all traffic of this kind.
+// TotalBytes returns all off-chip traffic of this kind (gathers are
+// on-chip and excluded).
 func (k KindStats) TotalBytes() int64 { return k.LoadBytes + k.SpillBytes + k.WritebackBytes }
 
 // SetRecord describes one issued operation set, including which tile
@@ -161,6 +167,9 @@ type Result struct {
 	LatencyCycles int64
 	// Traffic components, summed over kinds.
 	LoadBytes, SpillBytes, WritebackBytes int64
+	// GatherBytes is the on-chip gather volume of a fused schedule
+	// (0 for single-layer runs); not part of TrafficBytes.
+	GatherBytes int64
 	// PerKind breaks traffic down by tile kind.
 	PerKind [tile.NumKinds]KindStats
 	// Sets lists the issued operation sets in issue order.
@@ -185,12 +194,15 @@ func (r *Result) Metric() float64 {
 type engine struct {
 	cfg     Config
 	gr      *dfg.Graph
+	fused   bool // gr spans multiple layers
 	mem     *spm.SPM
 	remain  map[tile.ID]int
 	ready   []int
+	pending []int // per-op count of unissued predecessors (chain + cross)
 	opDone  []int64
 	writeAt map[tile.ID]int64 // completion time of the last write to a tile
 	availAt map[tile.ID]int64 // arrival time of the last load of a tile
+	hasDRAM map[tile.ID]bool  // tiles whose current contents exist off-chip (fused runs)
 	tl      *sim.Timeline
 	res     *Result
 	pos     int   // next index into cfg.Order (in-order mode)
@@ -217,6 +229,7 @@ type engine struct {
 	sigRefs  []sigRef   // setSignature operand scratch
 	fresh    []tile.ID  // evalSet: tiles brought on-chip by the current set
 	refs     []tileRef  // apply: per-tile reference counts of one set
+	spDone   []bool     // apply: spills already issued early for a DRAM fallback
 }
 
 // cloneMem clones the engine's scratchpad, reusing a retired clone when
@@ -369,8 +382,26 @@ func (e *engine) reset(gr *dfg.Graph, cfg Config) {
 		e.mem.Reset(cfg.Arch.SPMBytes, cfg.MemPolicy)
 	}
 	e.mem.SetInPlace(!cfg.DisableInPlace)
+	e.fused = gr.Fused()
 	e.remain = gr.UsesInto(e.remain)
-	e.ready = gr.AppendInitialReady(e.ready[:0])
+	// Readiness is in-degree based: ops with no unissued predecessor
+	// (chain or cross-layer) are ready. For single-layer graphs this is
+	// exactly the IC == 0 set in canonical order, bit-identical to the
+	// layerwise scheduler.
+	e.pending = gr.PendingInto(e.pending)
+	e.ready = e.ready[:0]
+	for i, p := range e.pending {
+		if p == 0 {
+			e.ready = append(e.ready, i)
+		}
+	}
+	if e.fused {
+		if e.hasDRAM == nil {
+			e.hasDRAM = make(map[tile.ID]bool)
+		} else {
+			clear(e.hasDRAM)
+		}
+	}
 	if cap(e.opDone) >= len(gr.Ops) {
 		e.opDone = e.opDone[:len(gr.Ops)]
 		for i := range e.opDone {
@@ -445,8 +476,45 @@ func (e *engine) apply(ev *setEval) error {
 	// vacated space, so they do not stall this set's compute. Ordering
 	// loads first keeps the DMA channel from idling on a write-back
 	// whose producing op has not finished yet.
+	//
+	// Fused runs add two wrinkles. A gather load assembles a consumer
+	// input tile from resident producer outputs: it starts no earlier
+	// than the last covering write and moves no off-chip bytes. A DRAM
+	// load of a consumer input instead requires every covering producer
+	// tile to exist off-chip first; producers that do not are flushed
+	// now (still resident) or have their eviction's spill pulled ahead
+	// of this load (evicted by this very set), so the round-trip reads
+	// data that has actually been written.
 	var memEnd int64
+	if cap(e.spDone) >= len(ev.spills) {
+		e.spDone = e.spDone[:len(ev.spills)]
+		for i := range e.spDone {
+			e.spDone[i] = false
+		}
+	} else {
+		e.spDone = make([]bool, len(ev.spills))
+	}
 	for _, ld := range ev.loads {
+		if ld.gather {
+			var notBefore int64
+			for _, ot := range e.gr.Covering(ld.id) {
+				if w := e.writeAt[ot]; w > notBefore {
+					notBefore = w
+				}
+			}
+			rec := e.tl.Transfer(ld.id, sim.Gather, ld.size, e.cfg.Model.GatherCycles(ld.size), notBefore)
+			e.account(rec)
+			e.availAt[ld.id] = rec.End
+			if rec.End > memEnd {
+				memEnd = rec.End
+			}
+			continue
+		}
+		if e.fused && ld.id.Kind == tile.In && ld.id.L > 0 {
+			if err := e.ensureDRAM(ld.id, ev); err != nil {
+				return err
+			}
+		}
 		lat := e.cfg.Model.TransferCycles(ld.size)
 		rec := e.tl.Transfer(ld.id, sim.Load, ld.size, lat, 0)
 		e.account(rec)
@@ -455,9 +523,12 @@ func (e *engine) apply(ev *setEval) error {
 			memEnd = rec.End
 		}
 	}
-	for _, sp := range ev.spills {
-		if !sp.Dirty {
+	for i, sp := range ev.spills {
+		if !sp.Dirty || e.spDone[i] {
 			continue // clean evictions drop data without traffic
+		}
+		if e.fused && sp.ID.Kind == tile.Out && sp.ID.L < e.gr.LastLayer() && sp.RemainUses == 0 {
+			continue // dead intermediate output: dropped without ever touching DRAM
 		}
 		kind := sim.Spill
 		if sp.ID.Kind == tile.Out && sp.RemainUses == 0 {
@@ -466,6 +537,9 @@ func (e *engine) apply(ev *setEval) error {
 		lat := e.cfg.Model.TransferCycles(sp.Size)
 		rec := e.tl.Transfer(sp.ID, kind, sp.Size, lat, e.writeAt[sp.ID])
 		e.account(rec)
+		if e.fused {
+			e.hasDRAM[sp.ID] = true
+		}
 	}
 
 	// Compute operations, one per core, after the set's memory ops and
@@ -508,16 +582,33 @@ func (e *engine) apply(ev *setEval) error {
 		e.opDone[opIdx] = rec.End
 		e.writeAt[op.Out] = rec.End
 		e.mem.SetDirty(op.Out, true)
+		if e.fused {
+			// The write makes any off-chip copy of the tile stale (a
+			// mid-chain spill leaves a partial sum in DRAM).
+			delete(e.hasDRAM, op.Out)
+		}
 		e.remain[op.In]--
 		e.remain[op.Wt]--
 		e.remain[op.Out]--
+		if e.fused && op.In.L > 0 && e.remain[op.In] == 0 {
+			// The consumer input tile is exhausted: release its hold on
+			// the producer outputs covering it. Until this point each
+			// covering tile stays live (resident or backed by DRAM), so
+			// a reload of the input always has a data source.
+			for _, ot := range e.gr.Covering(op.In) {
+				e.remain[ot]--
+			}
+		}
 		addRef(op.In)
 		addRef(op.Wt)
 		if op.ReadsPsum {
 			addRef(op.Out)
 		}
 		if succ := e.gr.Succ(opIdx); succ >= 0 {
-			e.ready = append(e.ready, succ)
+			e.wake(succ)
+		}
+		for _, cs := range e.gr.CrossSuccs(opIdx) {
+			e.wake(cs)
 		}
 		e.nDone++
 	}
@@ -549,6 +640,57 @@ func (e *engine) apply(ev *setEval) error {
 	return nil
 }
 
+// wake records that one predecessor of op j has issued; j becomes ready
+// once its last one does.
+func (e *engine) wake(j int) {
+	e.pending[j]--
+	if e.pending[j] == 0 {
+		e.ready = append(e.ready, j)
+	}
+}
+
+// ensureDRAM makes every producer tile covering the fused consumer
+// input id exist off-chip before id is loaded from DRAM. Producers
+// still resident are flushed now (they stay resident, now clean);
+// producers evicted dirty by the current set have their spill pulled
+// ahead of the load (marked in spDone so the main spill pass skips
+// them). Any other case breaks the liveness invariant and is an
+// internal error.
+func (e *engine) ensureDRAM(id tile.ID, ev *setEval) error {
+	for _, ot := range e.gr.Covering(id) {
+		if e.hasDRAM[ot] {
+			continue
+		}
+		if e.mem.Has(ot) {
+			size := e.gr.Size(ot)
+			rec := e.tl.Transfer(ot, sim.Spill, size, e.cfg.Model.TransferCycles(size), e.writeAt[ot])
+			e.account(rec)
+			e.mem.SetDirty(ot, false)
+			e.hasDRAM[ot] = true
+			continue
+		}
+		found := false
+		for i := range ev.spills {
+			sp := &ev.spills[i]
+			if sp.ID != ot || e.spDone[i] {
+				continue
+			}
+			if sp.Dirty {
+				rec := e.tl.Transfer(ot, sim.Spill, sp.Size, e.cfg.Model.TransferCycles(sp.Size), e.writeAt[ot])
+				e.account(rec)
+				e.hasDRAM[ot] = true
+			}
+			e.spDone[i] = true
+			found = true
+			break
+		}
+		if !found || !e.hasDRAM[ot] {
+			return fmt.Errorf("sched: internal: producer %v has no resident or off-chip copy for consumer %v", ot, id)
+		}
+	}
+	return nil
+}
+
 // account records one DMA transfer in the per-kind statistics.
 func (e *engine) account(rec sim.MemRecord) {
 	ks := &e.res.PerKind[rec.Tile.Kind]
@@ -565,15 +707,25 @@ func (e *engine) account(rec sim.MemRecord) {
 		ks.WritebackBytes += rec.Bytes
 		ks.WritebackCount++
 		e.res.WritebackBytes += rec.Bytes
+	case sim.Gather:
+		ks.GatherBytes += rec.Bytes
+		ks.GatherCount++
+		e.res.GatherBytes += rec.Bytes
 	}
 	ks.MoveCounts[rec.Tile]++
 }
 
 // flush writes back every dirty tile remaining in the scratchpad; after
-// all chains complete these are exactly the finished output tiles.
+// all chains complete these are the finished output tiles. In a fused
+// run, intermediate-layer outputs whose uses are exhausted never need
+// to reach DRAM — their consumers have read them on-chip — so only the
+// last layer's outputs (and any still-live tile, defensively) flush.
 func (e *engine) flush() {
 	for _, b := range e.mem.Blocks() {
 		if !b.Dirty {
+			continue
+		}
+		if e.fused && b.ID.Kind == tile.Out && b.ID.L < e.gr.LastLayer() && e.remain[b.ID] == 0 {
 			continue
 		}
 		lat := e.cfg.Model.TransferCycles(b.Size)

@@ -268,20 +268,24 @@ func (s *cacheShard) complete(c *Cache, e *cacheEntry) {
 // participate — metric, budget (including the identity of each
 // baseline dataflow, not just their count), arch, priority, memory
 // policy and the ablation switches — so two requests differing in any
-// of them are never coalesced onto one search. Fields that cannot
-// change the result (Workers, Cache, CacheMisses, Progress, CheckIn)
-// are deliberately excluded so requests differing only in plumbing
-// share one search.
+// of them are never coalesced onto one search. FuseDepth participates
+// too: layer results themselves are fusion-independent today, but
+// keeping the keys disjoint guarantees a fused network request can
+// never serve stale entries to (or poison) a layerwise one. Fields that
+// cannot change the result (Workers, Cache, CacheMisses, Progress,
+// CheckIn) are deliberately excluded so requests differing only in
+// plumbing share one search.
 func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""
 	b := opts.Budget
-	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v%v|%d:%d:%d:%d:%d|%s",
+	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v%v|%d:%d:%d:%d:%d|f%d|%s",
 		shape,
 		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
 		opts.Metric, opts.Priority, opts.MemPolicy, dataflowsKey(b.Dataflows),
 		opts.DisableInPlace, opts.DisablePruning, opts.DisableDominance, b.HintedOoO,
 		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets,
+		opts.FuseDepth,
 		faultKey(opts.FaultPlan))
 }
 

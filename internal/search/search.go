@@ -119,6 +119,17 @@ type Options struct {
 	// fresh counter per request for per-request accounting; the Cache's
 	// own Stats counters are process-global and unsuitable for that.
 	CacheMisses *atomic.Int64
+	// FuseDepth, when positive, lets a network search schedule across
+	// layer boundaries: after the per-layer search, runs of up to
+	// FuseDepth+1 consecutive shape-compatible layers are rescheduled as
+	// one fused graph (consumer tiles depending on the producer output
+	// tiles covering their input halo, assembled on-chip when resident),
+	// and a fused segment replaces its layers in the totals only when it
+	// strictly beats their summed layerwise cycles AND traffic. 0 — the
+	// default — is bit-identical to the layerwise search. Layer searches
+	// themselves are unaffected; the fusion pass runs on top of their
+	// results. Ignored by SearchLayer.
+	FuseDepth int
 	// FaultPlan, when non-nil and non-empty, additionally evaluates the
 	// degraded mode of each layer's best OoO schedule: the schedule is
 	// repaired around the plan (sched.Repair) and the result is attached
@@ -593,15 +604,48 @@ type NetworkResult struct {
 	Network string
 	Arch    string
 	Layers  []*LayerResult
+	// FuseDepth echoes Options.FuseDepth; Segments and Boundaries are
+	// populated by the fusion pass when it is positive. Each segment
+	// replaces its member layers' BestOoO schedules in Totals; every
+	// layer boundary the pass visited gets one BoundaryDecision.
+	FuseDepth  int
+	Segments   []*FusedSegment
+	Boundaries []BoundaryDecision
+}
+
+// fusedMask returns, per layer index, whether the layer is covered by a
+// fused segment — or nil when no segment exists.
+func (nr *NetworkResult) fusedMask() []bool {
+	if len(nr.Segments) == 0 {
+		return nil
+	}
+	mask := make([]bool, len(nr.Layers))
+	for _, s := range nr.Segments {
+		for i := s.First; i <= s.Last; i++ {
+			mask[i] = true
+		}
+	}
+	return mask
 }
 
 // Totals sums latency and traffic across layers for both schedulers.
+// Layers covered by a fused segment contribute the segment's fused
+// schedule to the OoO totals instead of their layerwise BestOoO; the
+// static baseline stays layerwise.
 func (nr *NetworkResult) Totals() (oooLat, staticLat, oooTraffic, staticTraffic int64) {
-	for _, lr := range nr.Layers {
-		oooLat += lr.BestOoO.LatencyCycles
+	mask := nr.fusedMask()
+	for i, lr := range nr.Layers {
 		staticLat += lr.BestStatic.LatencyCycles
-		oooTraffic += lr.BestOoO.TrafficBytes()
 		staticTraffic += lr.BestStatic.TrafficBytes()
+		if mask != nil && mask[i] {
+			continue
+		}
+		oooLat += lr.BestOoO.LatencyCycles
+		oooTraffic += lr.BestOoO.TrafficBytes()
+	}
+	for _, s := range nr.Segments {
+		oooLat += s.Result.LatencyCycles
+		oooTraffic += s.Result.TrafficBytes()
 	}
 	return
 }
@@ -619,14 +663,25 @@ func (nr *NetworkResult) TrafficReduction() float64 {
 }
 
 // DegradedCycles sums the degraded makespans across layers, or 0 when
-// the search ran without a fault plan.
+// the search ran without a fault plan. Fused layers contribute their
+// segment's degraded schedule.
 func (nr *NetworkResult) DegradedCycles() int64 {
+	mask := nr.fusedMask()
 	var total int64
-	for _, lr := range nr.Layers {
+	for i, lr := range nr.Layers {
+		if mask != nil && mask[i] {
+			continue
+		}
 		if lr.Degraded == nil {
 			return 0
 		}
 		total += lr.Degraded.LatencyCycles
+	}
+	for _, s := range nr.Segments {
+		if s.Degraded == nil {
+			return 0
+		}
+		total += s.Degraded.LatencyCycles
 	}
 	return total
 }
@@ -704,6 +759,9 @@ func SearchNetworkCtx(ctx context.Context, n nets.Network, opts Options) (*Netwo
 		if err != nil {
 			return nil, fmt.Errorf("search: layer %s: %w", n.Layers[i].Name, err)
 		}
+	}
+	if err := fuseNetwork(ctx, nr, opts); err != nil {
+		return nil, err
 	}
 	return nr, nil
 }

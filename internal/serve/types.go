@@ -5,12 +5,12 @@ import (
 	"time"
 
 	"github.com/flexer-sched/flexer/internal/arch"
-	"github.com/flexer-sched/flexer/internal/serve/admission"
 	"github.com/flexer-sched/flexer/internal/fault"
 	"github.com/flexer-sched/flexer/internal/layer"
 	"github.com/flexer-sched/flexer/internal/nets"
 	"github.com/flexer-sched/flexer/internal/sched"
 	"github.com/flexer-sched/flexer/internal/search"
+	"github.com/flexer-sched/flexer/internal/serve/admission"
 	"github.com/flexer-sched/flexer/internal/spm"
 	"github.com/flexer-sched/flexer/internal/trace"
 )
@@ -106,6 +106,12 @@ type SearchOptionsJSON struct {
 	// Metric selects the ranking metric: "default" (latency x traffic)
 	// or "min-transfer".
 	Metric string `json:"metric,omitempty"`
+	// FuseDepth enables the inter-layer fusion pass on network requests:
+	// up to this many consecutive layer boundaries may be scheduled as
+	// one fused graph when doing so strictly wins on both cycles and
+	// traffic (0 = layerwise; ignored on layer requests). The fused and
+	// layerwise variants of a request never share cached layer results.
+	FuseDepth int `json:"fuse_depth,omitempty"`
 }
 
 // LayerRequest is the body of POST /v1/schedule/layer. The layer comes
@@ -213,12 +219,44 @@ type NetworkLayerJSON struct {
 	DegradedRatio  float64 `json:"degraded_ratio,omitempty"`
 }
 
+// FusedSegmentJSON is one accepted fused segment of a network response:
+// a run of consecutive layers scheduled as a single cross-layer graph.
+type FusedSegmentJSON struct {
+	// FirstLayer and LastLayer name the segment's inclusive bounds.
+	FirstLayer string `json:"first_layer"`
+	LastLayer  string `json:"last_layer"`
+	// Cycles and TrafficBytes are the fused schedule's totals; the
+	// Layerwise fields are the member layers' summed best layerwise
+	// schedules the segment strictly beat.
+	Cycles          int64 `json:"cycles"`
+	TrafficBytes    int64 `json:"traffic_bytes"`
+	LayerwiseCycles int64 `json:"layerwise_cycles"`
+	LayerwiseBytes  int64 `json:"layerwise_traffic_bytes"`
+	// GatherBytes is the on-chip producer-to-consumer volume that never
+	// touched DRAM — the fusion win's mechanism.
+	GatherBytes int64 `json:"gather_bytes"`
+	// DegradedCycles reports the segment's fault-plan repair; zero
+	// without a fault_plan in the request.
+	DegradedCycles int64 `json:"degraded_cycles,omitempty"`
+}
+
+// FusionBoundaryJSON reports the fusion pass's verdict on one layer
+// boundary it visited.
+type FusionBoundaryJSON struct {
+	Producer string `json:"producer"`
+	Consumer string `json:"consumer"`
+	Fused    bool   `json:"fused"`
+	Reason   string `json:"reason"`
+}
+
 // NetworkResponse is the body returned by POST /v1/schedule/network.
 type NetworkResponse struct {
 	Network string             `json:"network"`
 	Arch    string             `json:"arch"`
 	Layers  []NetworkLayerJSON `json:"layers"`
-	// End-to-end totals across all layers.
+	// End-to-end totals across all layers. Layers inside a fused
+	// segment contribute the segment's fused schedule to the OoO
+	// totals; their per-layer rows still report the layerwise bests.
 	OoOCycles           int64   `json:"ooo_cycles"`
 	StaticCycles        int64   `json:"static_cycles"`
 	OoOTrafficBytes     int64   `json:"ooo_traffic_bytes"`
@@ -229,6 +267,11 @@ type NetworkResponse struct {
 	DegradedRatio       float64 `json:"degraded_ratio,omitempty"`
 	ElapsedMS           float64 `json:"elapsed_ms"`
 	DistinctLayerShapes int     `json:"distinct_layer_shapes"`
+	// FuseDepth echoes the request's fusion setting; Segments and
+	// Boundaries report what the pass did (absent when layerwise).
+	FuseDepth  int                  `json:"fuse_depth,omitempty"`
+	Segments   []FusedSegmentJSON   `json:"fused_segments,omitempty"`
+	Boundaries []FusionBoundaryJSON `json:"fusion_boundaries,omitempty"`
 }
 
 // PresetArchJSON is one hardware preset row of GET /v1/presets.
@@ -413,6 +456,10 @@ func resolveOptions(o SearchOptionsJSON, cfg arch.Config) (search.Options, error
 	default:
 		return opts, badf("unknown metric %q (want default or min-transfer)", o.Metric)
 	}
+	if o.FuseDepth < 0 {
+		return opts, badf("fuse_depth must be >= 0, got %d", o.FuseDepth)
+	}
+	opts.FuseDepth = o.FuseDepth
 	return opts, nil
 }
 
@@ -524,6 +571,27 @@ func buildNetworkResponse(nr *search.NetworkResult, distinct int, elapsedMS floa
 	resp.OoOCycles, resp.StaticCycles, resp.OoOTrafficBytes, resp.StaticTrafficBytes = nr.Totals()
 	resp.DegradedCycles = nr.DegradedCycles()
 	resp.DegradedRatio = nr.DegradedRatio()
+	resp.FuseDepth = nr.FuseDepth
+	for _, seg := range nr.Segments {
+		row := FusedSegmentJSON{
+			FirstLayer:      nr.Layers[seg.First].Layer.Name,
+			LastLayer:       nr.Layers[seg.Last].Layer.Name,
+			Cycles:          seg.Result.LatencyCycles,
+			TrafficBytes:    seg.Result.TrafficBytes(),
+			LayerwiseCycles: seg.LayerwiseCycles,
+			LayerwiseBytes:  seg.LayerwiseTraffic,
+			GatherBytes:     seg.Result.GatherBytes,
+		}
+		if seg.Degraded != nil {
+			row.DegradedCycles = seg.Degraded.LatencyCycles
+		}
+		resp.Segments = append(resp.Segments, row)
+	}
+	for _, b := range nr.Boundaries {
+		resp.Boundaries = append(resp.Boundaries, FusionBoundaryJSON{
+			Producer: b.Producer, Consumer: b.Consumer, Fused: b.Fused, Reason: b.Reason,
+		})
+	}
 	return resp
 }
 

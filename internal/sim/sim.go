@@ -31,6 +31,10 @@ const (
 	Spill
 	// Writeback is the final transfer of a finished output tile.
 	Writeback
+	// Gather assembles a fused consumer-layer input tile from
+	// scratchpad-resident producer output tiles: an on-chip SPM-to-SPM
+	// copy that occupies the DMA engine but causes no off-chip traffic.
+	Gather
 )
 
 // String names the transfer kind.
@@ -42,6 +46,8 @@ func (k MemKind) String() string {
 		return "spill"
 	case Writeback:
 		return "writeback"
+	case Gather:
+		return "gather"
 	}
 	return fmt.Sprintf("MemKind(%d)", uint8(k))
 }

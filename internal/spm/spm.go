@@ -207,6 +207,14 @@ func (s *SPM) Pin(id tile.ID) bool {
 	return false
 }
 
+// Pinned reports whether tile id is present and pinned. The fused
+// scheduler uses it to tell its own gather-source pins apart from pins
+// placed earlier in the same candidate set before rolling them back.
+func (s *SPM) Pinned(id tile.ID) bool {
+	i := s.regionOf(id)
+	return i >= 0 && s.regs[i].pin
+}
+
 // Unpin clears the pin on tile id if present.
 func (s *SPM) Unpin(id tile.ID) {
 	if i := s.regionOf(id); i >= 0 {

@@ -52,13 +52,22 @@ const NumKinds = int(numKinds)
 // Input tiles are indexed by the output block they feed (their extent
 // includes the kernel halo); adjacent input tiles may overlap in the
 // underlying tensor but are scheduled as distinct data blocks.
+//
+// L is the layer index within a fused multi-layer graph. Single-layer
+// graphs leave it zero, so IDs (and everything keyed by them) are
+// unchanged from the layerwise scheduler.
 type ID struct {
 	Kind    Kind
 	A, B, C int
+	L       int
 }
 
-// String renders the ID, e.g. "IN(1,0,2)".
+// String renders the ID, e.g. "IN(1,0,2)"; tiles of fused layers past
+// the first carry an L marker, e.g. "OT@1(0,0,2)".
 func (id ID) String() string {
+	if id.L > 0 {
+		return fmt.Sprintf("%s@%d(%d,%d,%d)", id.Kind, id.L, id.A, id.B, id.C)
+	}
 	return fmt.Sprintf("%s(%d,%d,%d)", id.Kind, id.A, id.B, id.C)
 }
 
@@ -201,6 +210,45 @@ func (g *Grid) WtTile(oc, ic int) ID { return ID{Kind: Wt, A: oc, B: ic} }
 // OutTile returns the output tile written by ops at block coordinates
 // (oh, ow, oc, *).
 func (g *Grid) OutTile(oh, ow, oc int) ID { return ID{Kind: Out, A: oh, B: ow, C: oc} }
+
+// OutRowRange returns the output-row interval [lo, lo+n) of row block h.
+func (g *Grid) OutRowRange(h int) (lo, n int) { return h * g.F.OH, g.rowSize[h] }
+
+// OutColRange returns the output-column interval of column block w.
+func (g *Grid) OutColRange(w int) (lo, n int) { return w * g.F.OW, g.colSize[w] }
+
+// OCRange returns the output-channel interval of channel block c.
+func (g *Grid) OCRange(c int) (lo, n int) { return c * g.F.OC, g.ocSize[c] }
+
+// ICRange returns the input-channel interval of channel block i.
+func (g *Grid) ICRange(i int) (lo, n int) { return i * g.F.IC, g.icSize[i] }
+
+// InRowRange returns the input-row interval read by row block h,
+// including the kernel halo and clipped to the layer's input extent.
+func (g *Grid) InRowRange(h int) (lo, n int) {
+	l := g.Layer
+	return layer.InputRange(h*g.F.OH, g.rowSize[h], l.KerH, l.StrideH, l.PadH, l.InH)
+}
+
+// InColRange returns the input-column interval read by column block w.
+func (g *Grid) InColRange(w int) (lo, n int) {
+	l := g.Layer
+	return layer.InputRange(w*g.F.OW, g.colSize[w], l.KerW, l.StrideW, l.PadW, l.InW)
+}
+
+// BlockRange returns the inclusive block-index interval [first, last]
+// of the blocks with per elements each (of n total blocks) that
+// intersect the element interval [lo, lo+count). count must be
+// positive. Fused-graph construction uses it to map a consumer tile's
+// input halo onto the producer's output blocks.
+func BlockRange(lo, count, per, n int) (first, last int) {
+	first = lo / per
+	last = (lo + count - 1) / per
+	if last > n-1 {
+		last = n - 1
+	}
+	return first, last
+}
 
 // OpDims returns the element extents of the op at block coordinates
 // (oh, ow, oc, ic): output rows, cols and channels of the tile and the

@@ -1,0 +1,179 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flexer-sched/flexer/internal/arch"
+	"github.com/flexer-sched/flexer/internal/dfg"
+	"github.com/flexer-sched/flexer/internal/layer"
+	"github.com/flexer-sched/flexer/internal/model"
+	"github.com/flexer-sched/flexer/internal/sched"
+	"github.com/flexer-sched/flexer/internal/sim"
+	"github.com/flexer-sched/flexer/internal/tile"
+)
+
+// buildFused returns a two-layer fused graph: 16x16x32 -> conv3x3(32)
+// -> conv3x3(16), tiled so each layer has a few blocks per dimension.
+func buildFused(t *testing.T, spmKiB int64) (*dfg.Graph, arch.Config) {
+	t.Helper()
+	a := arch.New("vf", 2, arch.KiB(spmKiB), 32)
+	l1 := layer.NewConv("f1", 16, 16, 32, 32, 3)
+	l2 := layer.NewConv("f2", 16, 16, 32, 16, 3)
+	g1, err := tile.NewGrid(l1, tile.Factors{OH: 8, OW: 8, OC: 16, IC: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := tile.NewGrid(l2, tile.Factors{OH: 8, OW: 8, OC: 16, IC: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := dfg.BuildFused([]*tile.Grid{g1, g2}, model.New(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr, a
+}
+
+func TestVerifyAcceptsFusedSchedule(t *testing.T) {
+	gr, a := buildFused(t, 256)
+	r, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(gr, r, a); err != nil {
+		t.Fatalf("fused schedule rejected: %v", err)
+	}
+	// With a roomy scratchpad the consumer layer should assemble at
+	// least some inputs on-chip.
+	if r.GatherBytes == 0 {
+		t.Error("no gathers in a 256 KiB scratchpad fused run")
+	}
+	for k, s := range r.PerKind {
+		if sim.MemKind(k) == sim.Gather && s.GatherBytes != r.GatherBytes {
+			t.Errorf("per-kind gather bytes %d != result gather bytes %d", s.GatherBytes, r.GatherBytes)
+		}
+	}
+}
+
+// A scratchpad too small to keep producer outputs resident forces the
+// scheduler onto the DRAM round-trip fallback; the schedule must still
+// verify (the strict cross-layer check proves each round-trip happened).
+func TestVerifyAcceptsFusedScheduleTinySPM(t *testing.T) {
+	gr, a := buildFused(t, 24)
+	r, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(gr, r, a); err != nil {
+		t.Fatalf("spill-fallback schedule rejected: %v", err)
+	}
+	dramLoads := 0
+	for _, m := range r.MemRecords {
+		if m.Kind == sim.Load && m.Tile.Kind == tile.In && m.Tile.L > 0 {
+			dramLoads++
+		}
+	}
+	if dramLoads == 0 {
+		t.Error("24 KiB scratchpad produced no DRAM round-trips for consumer inputs")
+	}
+}
+
+func TestVerifyRejectsCorruptedFusedSchedules(t *testing.T) {
+	gr, a := buildFused(t, 256)
+	good, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(gr, good, a); err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *sched.Result {
+		c := *good
+		c.OpRecords = append([]sim.OpRecord(nil), good.OpRecords...)
+		c.MemRecords = append([]sim.MemRecord(nil), good.MemRecords...)
+		return &c
+	}
+	gatherIdx := -1
+	for i, m := range good.MemRecords {
+		if m.Kind == sim.Gather {
+			gatherIdx = i
+			break
+		}
+	}
+	if gatherIdx < 0 {
+		t.Fatal("no gather to corrupt")
+	}
+	// Moving the gather ahead of its producers trips the cross-layer
+	// check; exercised against crossLayer directly because on the full
+	// pipeline the relocated record also overlaps other DMA transfers
+	// and the resource check fires first.
+	t.Run("gather before its producers", func(t *testing.T) {
+		bad := clone()
+		m := bad.MemRecords[gatherIdx]
+		m.End -= m.Start
+		m.Start = 0
+		bad.MemRecords[gatherIdx] = m
+		err := crossLayer(gr, bad)
+		if err == nil || !strings.Contains(err.Error(), "before producer") {
+			t.Fatalf("early gather: %v", err)
+		}
+	})
+	cases := []struct {
+		name    string
+		mutate  func(*sched.Result)
+		keyword string
+	}{
+		{
+			"gather into a DRAM load hides the round-trip",
+			func(r *sched.Result) {
+				m := r.MemRecords[gatherIdx]
+				m.Kind = sim.Load
+				r.MemRecords[gatherIdx] = m
+			},
+			"without a current off-chip copy",
+		},
+		{
+			"drop a final-layer writeback",
+			func(r *sched.Result) {
+				for i, m := range r.MemRecords {
+					if m.Kind == sim.Writeback && m.Tile.L == gr.LastLayer() {
+						r.MemRecords = append(r.MemRecords[:i], r.MemRecords[i+1:]...)
+						return
+					}
+				}
+				t.Fatal("no final-layer writeback found")
+			},
+			"never written off-chip",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := clone()
+			tc.mutate(bad)
+			err := Schedule(gr, bad, a)
+			if err == nil {
+				t.Fatal("corrupted schedule accepted")
+			}
+			if !strings.Contains(err.Error(), tc.keyword) {
+				t.Fatalf("error %q does not mention %q", err, tc.keyword)
+			}
+		})
+	}
+}
+
+// A layerwise schedule may not contain gather records at all.
+func TestVerifyRejectsGatherInLayerwise(t *testing.T) {
+	gr, a := build(t, 2)
+	good, err := sched.Schedule(gr, sched.Config{Arch: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.MemRecords = append([]sim.MemRecord(nil), good.MemRecords...)
+	bad.MemRecords[0].Kind = sim.Gather
+	err = Schedule(gr, &bad, a)
+	if err == nil || !strings.Contains(err.Error(), "non-fused") {
+		t.Fatalf("gather in layerwise schedule: %v", err)
+	}
+}

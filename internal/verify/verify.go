@@ -55,6 +55,9 @@ func ScheduleFaults(gr *dfg.Graph, r *sched.Result, cfg arch.Config, plan *fault
 	if err := residency(gr, r, cfg); err != nil {
 		return err
 	}
+	if err := crossLayer(gr, r); err != nil {
+		return err
+	}
 	if err := outputsReachDRAM(gr, r); err != nil {
 		return err
 	}
@@ -124,6 +127,12 @@ func dependencies(gr *dfg.Graph, r *sched.Result) error {
 			return fmt.Errorf("verify: op %d starts at %d before predecessor %d ends at %d",
 				i, start[i], p, end[p])
 		}
+		for _, c := range gr.CrossPreds(i) {
+			if start[i] < end[c] {
+				return fmt.Errorf("verify: op %d starts at %d before cross-layer predecessor %d ends at %d",
+					i, start[i], c, end[c])
+			}
+		}
 	}
 	return nil
 }
@@ -172,7 +181,6 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 	// record, so residency can only be bounded by the first load.
 	avail := make(map[tile.ID]int64)
 	var bytes int64
-	g := gr.Grid
 
 	// Index mem records by start time for a two-pointer sweep.
 	mems := append([]sim.MemRecord(nil), r.MemRecords...)
@@ -186,7 +194,7 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 		}
 		if !resident[m.Tile] {
 			resident[m.Tile] = true
-			bytes += g.Size(m.Tile)
+			bytes += gr.Size(m.Tile)
 			if bytes > cfg.SPMBytes {
 				// Evictions are not explicit in the record stream
 				// (clean drops have no DMA); residency can only be
@@ -202,7 +210,9 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 	mi := 0
 	for _, op := range ops {
 		for mi < len(mems) && mems[mi].Start <= op.Start {
-			if mems[mi].Kind == sim.Load {
+			// A gather makes its tile resident exactly like a load; the
+			// data just arrives from on-chip producers instead of DRAM.
+			if mems[mi].Kind == sim.Load || mems[mi].Kind == sim.Gather {
 				if err := load(mems[mi]); err != nil {
 					return err
 				}
@@ -233,14 +243,84 @@ func residency(gr *dfg.Graph, r *sched.Result, cfg arch.Config) error {
 			resident[o.Out] = true
 		} else {
 			resident[o.Out] = true
-			bytes += g.Size(o.Out)
+			bytes += gr.Size(o.Out)
 		}
 	}
 	return nil
 }
 
+// crossLayer enforces the fused-graph residency contract on top of the
+// construction-ordered residency sweep: a gather of a consumer input
+// may not start before every covering producer output is fully
+// computed, and a DRAM load of a fused consumer input is only legal if
+// every covering producer output took an explicit round-trip through
+// off-chip memory — a Spill or Writeback that started after the
+// producer finished (so the copy is current, not a stale partial sum)
+// and completed before the load starts. Layerwise schedules must not
+// contain gathers at all.
+func crossLayer(gr *dfg.Graph, r *sched.Result) error {
+	if !gr.Fused() {
+		for _, m := range r.MemRecords {
+			if m.Kind == sim.Gather {
+				return fmt.Errorf("verify: gather of %v in a non-fused schedule", m.Tile)
+			}
+		}
+		return nil
+	}
+	end := make([]int64, len(gr.Ops))
+	for _, rec := range r.OpRecords {
+		end[rec.Op] = rec.End
+	}
+	type span struct{ start, end int64 }
+	writes := make(map[tile.ID][]span) // off-chip copies per tile
+	for _, m := range r.MemRecords {
+		if m.Kind == sim.Spill || m.Kind == sim.Writeback {
+			writes[m.Tile] = append(writes[m.Tile], span{m.Start, m.End})
+		}
+	}
+	for _, m := range r.MemRecords {
+		switch m.Kind {
+		case sim.Gather:
+			ots := gr.Covering(m.Tile)
+			if len(ots) == 0 {
+				return fmt.Errorf("verify: gather of %v, which has no covering producer outputs", m.Tile)
+			}
+			for _, ot := range ots {
+				if fin := end[gr.FinalOp(ot)]; m.Start < fin {
+					return fmt.Errorf("verify: gather of %v starts at %d before producer %v finishes at %d",
+						m.Tile, m.Start, ot, fin)
+				}
+			}
+		case sim.Load:
+			if m.Tile.Kind != tile.In || m.Tile.L == 0 {
+				continue
+			}
+			for _, ot := range gr.Covering(m.Tile) {
+				fin := end[gr.FinalOp(ot)]
+				ok := false
+				for _, w := range writes[ot] {
+					if w.start >= fin && w.end <= m.Start {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return fmt.Errorf("verify: DRAM load of fused input %v at %d without a current off-chip copy of producer %v (finished at %d)",
+						m.Tile, m.Start, ot, fin)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// outputsReachDRAM checks that every output tile of the final layer is
+// written off-chip. Fused intermediate outputs are exempt: once their
+// consumers are served they may be dropped on-chip without a writeback,
+// which is the fusion traffic win.
 func outputsReachDRAM(gr *dfg.Graph, r *sched.Result) error {
-	g := gr.Grid
+	last := gr.LastLayer()
+	g := gr.Grids()[last]
 	written := make(map[tile.ID]bool)
 	for _, m := range r.MemRecords {
 		if m.Kind == sim.Writeback || m.Kind == sim.Spill {
@@ -251,6 +331,7 @@ func outputsReachDRAM(gr *dfg.Graph, r *sched.Result) error {
 		for w := 0; w < g.NOW; w++ {
 			for c := 0; c < g.NOC; c++ {
 				id := g.OutTile(h, w, c)
+				id.L = last
 				if !written[id] {
 					return fmt.Errorf("verify: output tile %v never written off-chip", id)
 				}
