@@ -7,7 +7,7 @@ GO ?= go
 # internal/search + internal/dfg + internal/sched.
 COVER_MIN ?= 70
 
-.PHONY: check build vet test test-short fairness bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
+.PHONY: check build vet test test-short fairness cluster-e2e bench bench-smoke bench-record bench-guard fuzz-smoke lint cover cover-check run-flexerd
 
 # The committed benchmark record the regression guard compares against.
 BENCH_BASELINE ?= BENCH_0009.json
@@ -37,6 +37,20 @@ fairness:
 		./internal/serve/admission/
 	$(GO) test -race -v -run 'TestPreemptedRequeueIsBitIdentical' ./internal/search/
 	$(GO) test -race -v -run 'TestStreamPreemptionEndToEnd|TestPerTenant429State' ./internal/serve/
+
+# Cluster end-to-end, on its own for visibility (all of it also runs
+# under `make check`): three in-process flexerd nodes probing each
+# other, with a scripted mid-run kill and rejoin — zero failed
+# requests, failover counters incrementing, and the revived node
+# resuming its ring segment — plus the snapshot warm-up, streamed
+# forwarding and prober FSM suites, all under the race detector.
+cluster-e2e:
+	$(GO) test -race -v \
+		-run 'TestClusterKillAndRejoinScenario|TestClusterSnapshotWarmup|TestClusterForwardStreaming|TestClusterHopGuard|TestReadyzLifecycle' \
+		./internal/serve/
+	$(GO) test -race -v \
+		-run 'TestProberKillAndRejoin|TestRouteFailsOverAroundDownPeer|TestFSM' \
+		./internal/cluster/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,6 +9,8 @@
 //	flexerd -timeout 30s -max-timeout 5m -pprof
 //	flexerd -cache-file /var/lib/flexer/cache.gob -queue-depth 64
 //	flexerd -tenant prod:3 -tenant scans:1:2:batch -default-tenant prod
+//	flexerd -addr :8081 -advertise http://node1:8081 \
+//	        -peers http://node1:8081,http://node2:8081,http://node3:8081
 //
 // Endpoints (see docs/API.md for bodies and examples):
 //
@@ -16,9 +18,22 @@
 //	POST /v1/schedule/network  schedule a whole network
 //	POST /v1/schedule/*?stream=1  same, streaming NDJSON progress
 //	GET  /v1/presets           archs, networks and option enums
-//	GET  /healthz              liveness probe
+//	GET  /v1/healthz           liveness probe (also legacy /healthz)
+//	GET  /v1/readyz            readiness (503 while warming/draining)
+//	GET  /v1/cluster/snapshot  a peer's cache shard (cluster mode)
 //	GET  /debug/vars           metrics (expvar JSON)
 //	GET  /debug/pprof/         profiling (with -pprof)
+//
+// With -peers (and -advertise naming this node's own entry in that
+// list), the daemon forms a static cluster: every schedule request is
+// homed on one node by consistent hashing and proxied there, so
+// identical requests coalesce into one search cluster-wide. Each node
+// probes its peers' /v1/healthz every -probe-interval; requests homed
+// on a down peer fail over to the ring successor and are answered with
+// degraded_routing set. On boot a cluster node warms its cache shard
+// from its ring successor before reporting ready, and on shutdown it
+// flips /v1/readyz to 503 before closing the listener so peers and
+// load balancers stop routing to it first.
 //
 // Admission is multi-tenant: requests name a tenant via their "tenant"
 // body field or X-Flexer-Tenant header and queue per tenant, with
@@ -57,6 +72,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/flexer-sched/flexer/internal/cluster"
+	"github.com/flexer-sched/flexer/internal/search"
 	"github.com/flexer-sched/flexer/internal/serve"
 	"github.com/flexer-sched/flexer/internal/serve/admission"
 )
@@ -135,9 +152,30 @@ func run() error {
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "tenant config name:weight[:quota[:tier]] (repeatable; tier = auto|interactive|batch)")
 	defaultTenant := flag.String("default-tenant", "", `tenant billed for requests that name none (empty = "default")`)
+	peers := flag.String("peers", "", "comma-separated URLs of every cluster node, including this one (empty = single-node)")
+	advertise := flag.String("advertise", "", "this node's own URL as it appears in -peers (required with -peers)")
+	probeEvery := flag.Duration("probe-interval", 2*time.Second, "period between peer health probes (cluster mode)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "flexerd ", log.LstdFlags)
+
+	var clu *cluster.Cluster
+	if *peers != "" {
+		if *advertise == "" {
+			return errors.New("-peers requires -advertise (this node's own URL)")
+		}
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Self:          *advertise,
+			Peers:         strings.Split(*peers, ","),
+			ProbeInterval: *probeEvery,
+			Log:           logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		CacheSize:         *cacheSize,
 		Workers:           *workers,
@@ -148,11 +186,18 @@ func run() error {
 		EnablePprof:       *enablePprof,
 		Tenants:           tenants.tenants,
 		DefaultTenant:     *defaultTenant,
+		Cluster:           clu,
 		Log:               logger,
 	})
 
+	// Not ready until the warm-up below has run; liveness is unaffected.
+	srv.BeginWarmup()
 	if *cacheFile != "" {
 		switch n, err := srv.LoadCacheFile(*cacheFile); {
+		case errors.Is(err, search.ErrSnapshotVersion):
+			// A routine rolling-upgrade artifact, not a failure: the old
+			// binary's snapshot no longer matches this one's key format.
+			logger.Printf("cache-file %s is from an incompatible flexerd version, starting cold: %v", *cacheFile, err)
 		case err != nil:
 			logger.Printf("cache-file %s: %v (starting cold)", *cacheFile, err)
 		case n > 0:
@@ -181,6 +226,44 @@ func run() error {
 	go func() {
 		logger.Printf("listening on %s", *addr)
 		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	if clu != nil {
+		clu.Start()
+		defer clu.Stop()
+	}
+
+	// Warm up off the boot path: the listener is already up (liveness
+	// probes succeed, peers can pull shards from us), and readiness
+	// flips once the shard pull — which needs the successor to be
+	// serving, hence the retries — resolves one way or the other.
+	go func() {
+		defer srv.EndWarmup()
+		if clu == nil {
+			return
+		}
+		succ := clu.SuccessorOf(clu.Self())
+		if succ == "" {
+			return
+		}
+		for attempt := 0; attempt < 5; attempt++ {
+			if attempt > 0 {
+				time.Sleep(2 * time.Second)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			n, err := srv.PullSnapshot(ctx, succ)
+			cancel()
+			if err == nil {
+				logger.Printf("warmed %d cache entries from %s", n, succ)
+				return
+			}
+			if errors.Is(err, search.ErrSnapshotVersion) {
+				logger.Printf("peer %s snapshot is from an incompatible version, starting cold: %v", succ, err)
+				return
+			}
+			logger.Printf("warm-up pull from %s failed (attempt %d/5): %v", succ, attempt+1, err)
+		}
+		logger.Printf("warm-up gave up, starting cold")
 	}()
 
 	// Periodic snapshots keep the warm set durable against crashes, not
@@ -221,6 +304,14 @@ func run() error {
 	}
 	close(stopSnap)
 	snapWG.Wait()
+
+	// Flip readiness before touching the listener: peers and load
+	// balancers see the 503 on their next probe and stop routing new
+	// work here while in-flight requests drain below.
+	srv.BeginDrain()
+	if clu != nil {
+		clu.Stop()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -1,0 +1,126 @@
+package cluster
+
+import "fmt"
+
+// State is one peer's position in the health FSM.
+//
+//	healthy --fail x SuspectAfter--> suspect
+//	suspect --fail x DownAfter------> down      (counted from the first failure)
+//	suspect --ok--------------------> healthy   (one success clears suspicion)
+//	down ----ok x UpAfter-----------> healthy   (rejoin)
+//
+// Suspect is a routing-neutral warning state: a suspect peer still
+// receives its homed requests (one dropped probe must not reshuffle
+// the ring), but the operator can see the probe failures building up.
+// Only Down triggers failover, and only a run of UpAfter consecutive
+// probe successes ends it, so a flapping peer cannot oscillate its
+// ring segment on every probe.
+type State int
+
+const (
+	// StateHealthy is the steady state: probes succeed, requests route.
+	StateHealthy State = iota
+	// StateSuspect means recent probes failed but not enough to divert
+	// traffic; the prober keeps probing at full cadence.
+	StateSuspect
+	// StateDown means the peer missed DownAfter consecutive probes;
+	// requests homed on it fail over to its ring successors and the
+	// prober backs off exponentially.
+	StateDown
+)
+
+// String renders the state for logs, metrics and tests.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Thresholds tune the FSM's transition counts. The zero value maps to
+// the defaults noted on each field.
+type Thresholds struct {
+	// SuspectAfter is the consecutive-failure count that demotes a
+	// healthy peer to suspect (<= 0 = 1: the first failed probe).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that marks a peer
+	// down, counted from the first failure (<= 0 = 3). Values below
+	// SuspectAfter are raised to SuspectAfter+1 so suspect is always
+	// visited on the way down.
+	DownAfter int
+	// UpAfter is the consecutive-success count that rejoins a down
+	// peer (<= 0 = 2). Suspect needs only one success.
+	UpAfter int
+}
+
+// withDefaults resolves the zero values.
+func (t Thresholds) withDefaults() Thresholds {
+	if t.SuspectAfter <= 0 {
+		t.SuspectAfter = 1
+	}
+	if t.DownAfter <= 0 {
+		t.DownAfter = 3
+	}
+	if t.DownAfter <= t.SuspectAfter {
+		t.DownAfter = t.SuspectAfter + 1
+	}
+	if t.UpAfter <= 0 {
+		t.UpAfter = 2
+	}
+	return t
+}
+
+// FSM tracks one peer's health from a stream of probe outcomes. It is
+// not safe for concurrent use; Cluster serializes Observe calls under
+// its own lock. The zero value is not usable; construct with NewFSM.
+type FSM struct {
+	th    Thresholds
+	state State
+	fails int // consecutive failures
+	oks   int // consecutive successes
+}
+
+// NewFSM returns a healthy FSM with the given thresholds.
+func NewFSM(th Thresholds) *FSM {
+	return &FSM{th: th.withDefaults(), state: StateHealthy}
+}
+
+// State returns the current state.
+func (f *FSM) State() State { return f.state }
+
+// ConsecutiveFailures returns the current failure streak length.
+func (f *FSM) ConsecutiveFailures() int { return f.fails }
+
+// Observe feeds one probe outcome into the FSM and returns the state
+// after the observation plus whether it changed.
+func (f *FSM) Observe(ok bool) (State, bool) {
+	prev := f.state
+	if ok {
+		f.oks++
+		f.fails = 0
+		switch f.state {
+		case StateSuspect:
+			f.state = StateHealthy
+		case StateDown:
+			if f.oks >= f.th.UpAfter {
+				f.state = StateHealthy
+			}
+		}
+	} else {
+		f.fails++
+		f.oks = 0
+		switch {
+		case f.fails >= f.th.DownAfter:
+			f.state = StateDown
+		case f.state == StateHealthy && f.fails >= f.th.SuspectAfter:
+			f.state = StateSuspect
+		}
+	}
+	return f.state, f.state != prev
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import "testing"
+
+// step is one scripted probe outcome and the state expected after it.
+type step struct {
+	ok   bool
+	want State
+}
+
+// runScript feeds a probe script through a fresh FSM and checks the
+// state after every observation.
+func runScript(t *testing.T, th Thresholds, script []step) {
+	t.Helper()
+	f := NewFSM(th)
+	for i, s := range script {
+		got, _ := f.Observe(s.ok)
+		if got != s.want {
+			t.Fatalf("step %d (ok=%v): state = %v, want %v", i, s.ok, got, s.want)
+		}
+	}
+}
+
+// TestFSMHealthyToSuspectToDown walks the canonical failure path under
+// the default thresholds (suspect after 1 failure, down after 3).
+func TestFSMHealthyToSuspectToDown(t *testing.T) {
+	runScript(t, Thresholds{}, []step{
+		{true, StateHealthy},
+		{false, StateSuspect}, // 1st failure
+		{false, StateSuspect}, // 2nd
+		{false, StateDown},    // 3rd: down
+		{false, StateDown},    // stays down
+	})
+}
+
+// TestFSMSuspectRecovers: one success clears suspicion without needing
+// the UpAfter streak.
+func TestFSMSuspectRecovers(t *testing.T) {
+	runScript(t, Thresholds{}, []step{
+		{false, StateSuspect},
+		{true, StateHealthy},
+		{false, StateSuspect},
+		{false, StateSuspect},
+		{true, StateHealthy}, // streak reset: two failures then a success
+	})
+}
+
+// TestFSMRejoinNeedsStreak: a down peer rejoins only after UpAfter
+// consecutive successes, and an interleaved failure resets the streak.
+func TestFSMRejoinNeedsStreak(t *testing.T) {
+	runScript(t, Thresholds{UpAfter: 3}, []step{
+		{false, StateSuspect},
+		{false, StateSuspect},
+		{false, StateDown},
+		{true, StateDown},  // 1 of 3
+		{true, StateDown},  // 2 of 3
+		{false, StateDown}, // streak broken
+		{true, StateDown},
+		{true, StateDown},
+		{true, StateHealthy}, // 3 consecutive: rejoin
+		{true, StateHealthy},
+	})
+}
+
+// TestFSMCustomThresholds: SuspectAfter > 1 tolerates isolated blips
+// without ever leaving healthy.
+func TestFSMCustomThresholds(t *testing.T) {
+	runScript(t, Thresholds{SuspectAfter: 2, DownAfter: 4, UpAfter: 1}, []step{
+		{false, StateHealthy}, // one blip tolerated
+		{true, StateHealthy},
+		{false, StateHealthy},
+		{false, StateSuspect}, // 2 consecutive
+		{false, StateSuspect}, // 3
+		{false, StateDown},    // 4
+		{true, StateHealthy},  // UpAfter 1: instant rejoin
+	})
+}
+
+// TestFSMDownAfterClampedAboveSuspect: DownAfter <= SuspectAfter would
+// skip the suspect state entirely; the defaults must prevent that.
+func TestFSMDownAfterClampedAboveSuspect(t *testing.T) {
+	runScript(t, Thresholds{SuspectAfter: 3, DownAfter: 2}, []step{
+		{false, StateHealthy},
+		{false, StateHealthy},
+		{false, StateSuspect}, // 3rd failure: suspect first...
+		{false, StateDown},    // ...then down at SuspectAfter+1
+	})
+}
+
+// TestFSMChangedFlag: Observe reports exactly the transitions.
+func TestFSMChangedFlag(t *testing.T) {
+	f := NewFSM(Thresholds{})
+	script := []struct {
+		ok          bool
+		wantChanged bool
+	}{
+		{true, false},  // healthy stays
+		{false, true},  // -> suspect
+		{false, false}, // suspect stays
+		{false, true},  // -> down
+		{true, false},  // 1 of 2 successes
+		{true, true},   // -> healthy (rejoin)
+		{true, false},
+	}
+	for i, s := range script {
+		if _, changed := f.Observe(s.ok); changed != s.wantChanged {
+			t.Fatalf("step %d: changed = %v, want %v", i, changed, s.wantChanged)
+		}
+	}
+}

@@ -278,15 +278,39 @@ func (s *cacheShard) complete(c *Cache, e *cacheEntry) {
 func cacheKey(l layer.Conv, opts Options) string {
 	shape := l
 	shape.Name = ""
+	return fmt.Sprintf("%+v|%s", shape, optionsKey(opts))
+}
+
+// optionsKey is the options half of the fingerprint, shared between
+// per-layer cache keys and whole-network routing keys.
+func optionsKey(opts Options) string {
 	b := opts.Budget
-	return fmt.Sprintf("%+v|%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v%v|%d:%d:%d:%d:%d|f%d|%s",
-		shape,
+	return fmt.Sprintf("%s/%d/%d/%d|%v|%v|%d|%s|%v%v%v%v|%d:%d:%d:%d:%d|f%d|%s",
 		opts.Arch.Name, opts.Arch.Cores, opts.Arch.SPMBytes, opts.Arch.BandwidthBytesPerCycle,
 		opts.Metric, opts.Priority, opts.MemPolicy, dataflowsKey(b.Dataflows),
 		opts.DisableInPlace, opts.DisablePruning, opts.DisableDominance, b.HintedOoO,
 		b.MaxTilings, b.MaxOps, b.MaxValuesPerDim, b.MaxReadyWindow, b.MaxCandidateSets,
 		opts.FuseDepth,
 		faultKey(opts.FaultPlan))
+}
+
+// CacheKey exposes the cache fingerprint of one layer search. The
+// cluster layer routes layer requests and filters snapshot shards by
+// this key, so every node assigns the same home peer to the same
+// search and the single-search-per-key coalescing invariant holds
+// cluster-wide.
+func CacheKey(l layer.Conv, opts Options) string { return cacheKey(l, opts) }
+
+// NetworkKey fingerprints a whole-network schedule request (network
+// name, spatial scale and every result-relevant option) for cluster
+// routing. Identical network sweeps route to one home peer and
+// coalesce there; the per-layer cache entries the sweep creates still
+// carry their own CacheKey homes for snapshot sharding.
+func NetworkKey(network string, scale int, opts Options) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	return fmt.Sprintf("net|%s|x%d|%s", network, scale, optionsKey(opts))
 }
 
 // faultKey fingerprints the fault plan for the cache key: results with

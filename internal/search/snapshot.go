@@ -2,6 +2,7 @@ package search
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -28,6 +29,12 @@ const snapshotMagic = "flexer-cache-snapshot"
 // stale snapshot degrades to a cold start instead of corrupt hits.
 const snapshotVersion = 2
 
+// ErrSnapshotVersion marks a snapshot whose version does not match
+// this binary's. Callers (flexerd's boot path, cluster warm-up) match
+// it with errors.Is and degrade to a cold start instead of treating a
+// routine rolling-upgrade artifact as a fatal or unknown failure.
+var ErrSnapshotVersion = errors.New("cache snapshot version mismatch")
+
 // snapshotHeader opens every snapshot stream.
 type snapshotHeader struct {
 	Magic   string
@@ -45,7 +52,25 @@ type snapshotEntry struct {
 // proceed while saving: entry pointers are collected under the shard
 // locks, and completed results are immutable thereafter.
 func (c *Cache) SaveTo(w io.Writer) (int, error) {
+	return c.SaveShardTo(w, nil)
+}
+
+// SaveShardTo writes a snapshot of the completed, successful entries
+// whose key keep accepts (nil = all, i.e. SaveTo). The cluster layer
+// uses it to export exactly one peer's home shard — keys whose ring
+// home is the requesting peer — so a rejoining node warms up with its
+// own keys instead of a full copy of someone else's cache.
+func (c *Cache) SaveShardTo(w io.Writer, keep func(key string) bool) (int, error) {
 	entries := c.snapshotEntries()
+	if keep != nil {
+		kept := entries[:0]
+		for _, e := range entries {
+			if keep(e.key) {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(snapshotHeader{Magic: snapshotMagic, Version: snapshotVersion}); err != nil {
 		return 0, fmt.Errorf("cache: write snapshot header: %w", err)
@@ -95,7 +120,7 @@ func (c *Cache) LoadFrom(r io.Reader) (int, error) {
 		return 0, fmt.Errorf("cache: not a cache snapshot (magic %q)", h.Magic)
 	}
 	if h.Version != snapshotVersion {
-		return 0, fmt.Errorf("cache: snapshot version %d, want %d", h.Version, snapshotVersion)
+		return 0, fmt.Errorf("cache: snapshot version %d, want %d: %w", h.Version, snapshotVersion, ErrSnapshotVersion)
 	}
 	var n int
 	if err := dec.Decode(&n); err != nil {

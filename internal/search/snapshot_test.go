@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"strings"
 	"testing"
 
@@ -98,7 +99,8 @@ func TestCacheSnapshotSkipsFailures(t *testing.T) {
 }
 
 // TestCacheSnapshotVersionMismatch checks that a snapshot from an
-// incompatible version is rejected whole, degrading to a cold start.
+// incompatible version is rejected whole with the typed
+// ErrSnapshotVersion, degrading to a cold start.
 func TestCacheSnapshotVersionMismatch(t *testing.T) {
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
@@ -109,11 +111,105 @@ func TestCacheSnapshotVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewCache()
-	if _, err := c.LoadFrom(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+	_, err := c.LoadFrom(&buf)
+	if err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("LoadFrom(future version) = %v, want version error", err)
+	}
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("LoadFrom(future version) = %v, want errors.Is(ErrSnapshotVersion)", err)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("cache has %d entries after rejected load, want 0", c.Len())
+	}
+
+	// A wrong magic is a different failure: not a snapshot at all, so
+	// it must NOT claim to be a version mismatch.
+	buf.Reset()
+	enc = gob.NewEncoder(&buf)
+	if err := enc.Encode(snapshotHeader{Magic: "something-else", Version: snapshotVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadFrom(&buf); err == nil || errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("LoadFrom(bad magic) = %v, want a non-version error", err)
+	}
+}
+
+// TestCacheSnapshotShardFilter checks SaveShardTo exports exactly the
+// keys the filter keeps, and that a warm load of the shard serves hits
+// for those keys only — the cluster join warm-up path.
+func TestCacheSnapshotShardFilter(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	opts.Cache = NewCache()
+	l1 := layer.NewConv("a", 8, 8, 4, 4, 3)
+	l2 := layer.NewConv("b", 8, 8, 4, 8, 3)
+	if _, err := SearchLayer(l1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchLayer(l2, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	keep := CacheKey(l1, opts)
+	var buf bytes.Buffer
+	n, err := opts.Cache.SaveShardTo(&buf, func(key string) bool { return key == keep })
+	if err != nil {
+		t.Fatalf("SaveShardTo: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("SaveShardTo wrote %d entries, want 1", n)
+	}
+
+	warm := NewCache()
+	if loaded, err := warm.LoadFrom(&buf); err != nil || loaded != 1 {
+		t.Fatalf("LoadFrom = (%d, %v), want (1, nil)", loaded, err)
+	}
+	opts.Cache = warm
+	if _, err := SearchLayer(l1, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Fatalf("kept key stats = %+v, want a pure hit", s)
+	}
+	if _, err := SearchLayer(l2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Misses != 1 {
+		t.Fatalf("filtered-out key stats = %+v, want one miss", s)
+	}
+}
+
+// TestCacheKeyFingerprintsRouting pins the exported key helpers: layer
+// keys ignore the layer's name but nothing else, and network keys
+// distinguish name, scale and options.
+func TestCacheKeyFingerprintsRouting(t *testing.T) {
+	opts := quickOpts(t, "arch1")
+	l := layer.NewConv("a", 8, 8, 4, 4, 3)
+	renamed := l
+	renamed.Name = "z"
+	if CacheKey(l, opts) != CacheKey(renamed, opts) {
+		t.Error("layer name should not change the cache key")
+	}
+	bigger := layer.NewConv("a", 8, 8, 4, 8, 3)
+	if CacheKey(l, opts) == CacheKey(bigger, opts) {
+		t.Error("different shapes must not share a key")
+	}
+	other := opts
+	other.FuseDepth = 2
+	if CacheKey(l, opts) == CacheKey(l, other) {
+		t.Error("different options must not share a key")
+	}
+
+	if NetworkKey("vgg16", 2, opts) == NetworkKey("vgg16", 4, opts) {
+		t.Error("network keys must distinguish scale")
+	}
+	if NetworkKey("vgg16", 2, opts) == NetworkKey("resnet50", 2, opts) {
+		t.Error("network keys must distinguish the network")
+	}
+	if NetworkKey("vgg16", 0, opts) != NetworkKey("vgg16", 1, opts) {
+		t.Error("scale 0 and 1 both mean full size and must share a key")
+	}
+	if NetworkKey("vgg16", 2, opts) == NetworkKey("vgg16", 2, other) {
+		t.Error("network keys must distinguish options")
 	}
 }
 

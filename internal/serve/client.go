@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,9 +20,18 @@ import (
 // not usable; construct one with NewClient.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
+	// Ignored when Peers is set.
 	BaseURL string
+	// Peers is the cluster bootstrap set: every flexerd node's URL.
+	// Requests go to one peer at a time; a transport failure rotates to
+	// the next (and retries, under Retry's attempt cap), so any live
+	// peer keeps the client working — the server side then routes the
+	// request to its home node internally. Do not mutate after first
+	// use; rotation itself is concurrency-safe.
+	Peers []string
 	// HTTPClient issues the requests (nil = http.DefaultClient). Give
-	// it a Timeout slightly above the request timeout_ms you use.
+	// it a Timeout slightly above the request timeout_ms you use, or
+	// set Retry.AttemptTimeout.
 	HTTPClient *http.Client
 	// Retry, when non-nil, retries temporary server failures (429 shed
 	// load, 504 deadline) with exponential backoff; nil disables
@@ -32,11 +42,54 @@ type Client struct {
 	// and is billed for this client's searches. A request body's own
 	// tenant field takes precedence.
 	Tenant string
+
+	// peerIdx cursors Peers; advanced on transport failure.
+	peerIdx atomic.Int64
 }
 
 // NewClient returns a client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// NewClusterClient returns a client bootstrapped with every peer of a
+// flexerd cluster, with retries on: a request that fails in transport
+// rotates to the next peer instead of failing the caller, so the
+// client survives any single node's death.
+func NewClusterClient(peers ...string) *Client {
+	c := &Client{Retry: &RetryPolicy{}}
+	for _, p := range peers {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			c.Peers = append(c.Peers, p)
+		}
+	}
+	if len(c.Peers) > 0 {
+		c.BaseURL = c.Peers[0]
+	}
+	return c
+}
+
+// baseURL returns the endpoint for the next request: the current peer
+// of the bootstrap set, or the fixed BaseURL without one.
+func (c *Client) baseURL() string {
+	if len(c.Peers) > 0 {
+		return c.Peers[int(c.peerIdx.Load())%len(c.Peers)]
+	}
+	return c.BaseURL
+}
+
+// failover rotates to the next peer after a transport failure,
+// reporting whether the attempt is worth retrying: only with a peer
+// set configured and the caller's context still live. Note the check
+// is against the caller's context, not the error chain — a per-attempt
+// timeout surfaces as context.DeadlineExceeded but must still fail
+// over while the overall deadline is live.
+func (c *Client) failover(ctx context.Context) bool {
+	if len(c.Peers) == 0 || ctx.Err() != nil {
+		return false
+	}
+	c.peerIdx.Add(1)
+	return true
 }
 
 // RetryPolicy tunes the client's automatic retry of temporary failures
@@ -61,6 +114,15 @@ type RetryPolicy struct {
 	// (0 = 20%; negative = none). Jitter decorrelates clients that were
 	// shed together so they do not stampede back together.
 	Jitter float64
+	// AttemptTimeout bounds each non-streaming attempt independently of
+	// the request context's overall deadline (0 = none). Without it, one
+	// black-holed peer consumes the whole deadline before the client
+	// can fail over; with it, the hung attempt is abandoned after
+	// AttemptTimeout and the next attempt — possibly against the next
+	// peer — still has deadline left to succeed in. Streaming attempts
+	// are exempt: a healthy stream legitimately outlives any per-attempt
+	// bound.
+	AttemptTimeout time.Duration
 }
 
 // attempts returns the effective attempt cap.
@@ -106,7 +168,9 @@ func (p *RetryPolicy) delay(attempt int, floor time.Duration) time.Duration {
 // withRetry runs f under the client's retry policy. f reports whether
 // its failure may be retried at all (streaming attempts that already
 // delivered events may not); on top of that only temporary API errors
-// are retried, with a context-aware sleep between attempts.
+// — and, with a peer set, transport failures, which first rotate to
+// the next peer — are retried, with a context-aware sleep between
+// attempts.
 func (c *Client) withRetry(ctx context.Context, f func() (error, bool)) error {
 	p := c.Retry
 	if p == nil {
@@ -131,8 +195,17 @@ func (c *Client) withRetry(ctx context.Context, f func() (error, bool)) error {
 		}
 		err, retryable := f()
 		lastErr = err
+		if err == nil || !retryable {
+			return err
+		}
 		var apiErr *APIError
-		if err == nil || !retryable || !errors.As(err, &apiErr) || !apiErr.Temporary() {
+		if errors.As(err, &apiErr) {
+			if !apiErr.Temporary() {
+				return err
+			}
+		} else if !c.failover(ctx) {
+			// A transport failure (no HTTP response at all): without a
+			// peer set to rotate through, keep the one-shot verdict.
 			return err
 		}
 	}
@@ -197,9 +270,19 @@ func (c *Client) Presets(ctx context.Context) (*PresetsResponse, error) {
 	return &resp, nil
 }
 
-// Healthz probes GET /healthz, returning nil when the server is up.
+// Healthz probes GET /v1/healthz (liveness), returning nil when the
+// server process is up — even one that is warming or draining.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.get(ctx, "/healthz", &struct {
+	return c.get(ctx, "/v1/healthz", &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+// Readyz probes GET /v1/readyz (readiness), returning nil when the
+// server accepts new work; a warming or draining node answers with a
+// 503 *APIError whose message names the reason.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.get(ctx, "/v1/readyz", &struct {
 		Status string `json:"status"`
 	}{})
 }
@@ -212,6 +295,15 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// attemptCtx derives one non-streaming attempt's context: the caller's
+// ctx further bounded by Retry.AttemptTimeout when one is set.
+func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Retry != nil && c.Retry.AttemptTimeout > 0 {
+		return context.WithTimeout(ctx, c.Retry.AttemptTimeout)
+	}
+	return ctx, func() {}
+}
+
 // post sends one JSON request and decodes the JSON response into out,
 // retrying temporary failures per the client's policy. The body is
 // marshalled once; each attempt replays it from the start.
@@ -221,7 +313,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("serve client: encode %s request: %w", path, err)
 	}
 	return c.withRetry(ctx, func() (error, bool) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		actx, cancel := c.attemptCtx(ctx)
+		defer cancel()
+		req, err := http.NewRequestWithContext(actx, http.MethodPost, c.baseURL()+path, bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("serve client: %w", err), false
 		}
@@ -237,7 +331,9 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 // temporary failures per the client's policy.
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.withRetry(ctx, func() (error, bool) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		actx, cancel := c.attemptCtx(ctx)
+		defer cancel()
+		req, err := http.NewRequestWithContext(actx, http.MethodGet, c.baseURL()+path, nil)
 		if err != nil {
 			return fmt.Errorf("serve client: %w", err), false
 		}
@@ -287,7 +383,7 @@ func (c *Client) stream(ctx context.Context, path string, in any, onProgress fun
 // streamOnce runs one streaming attempt, reporting whether any event —
 // progress or terminal — was delivered to the caller before failure.
 func (c *Client) streamOnce(ctx context.Context, path string, body []byte, onProgress func(StreamEvent)) (StreamEvent, bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path+"?stream=1", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL()+path+"?stream=1", bytes.NewReader(body))
 	if err != nil {
 		return StreamEvent{}, false, fmt.Errorf("serve client: %w", err)
 	}

@@ -23,9 +23,15 @@
 //	POST /v1/schedule/network  schedule a whole network
 //	POST /v1/schedule/*?stream=1  same, streaming NDJSON progress events
 //	GET  /v1/presets           hardware presets, networks, option enums
-//	GET  /healthz              liveness probe
+//	GET  /v1/healthz           liveness probe (also legacy /healthz)
+//	GET  /v1/readyz            readiness: 503 while warming or draining
+//	GET  /v1/cluster/snapshot  one peer's cache shard (cluster mode)
 //	GET  /debug/vars           metrics (expvar JSON)
 //	GET  /debug/pprof/...      profiling, when Config.EnablePprof is set
+//
+// With Config.Cluster set, schedule requests are additionally routed
+// across the peer set by consistent hashing with health-gated failover
+// (see cluster.go and internal/cluster).
 //
 // Request and response bodies are documented in docs/API.md; schedule
 // payloads reuse the trace package's JSON schema, so a daemon response
@@ -52,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/flexer-sched/flexer/internal/cluster"
 	"github.com/flexer-sched/flexer/internal/search"
 	"github.com/flexer-sched/flexer/internal/serve/admission"
 )
@@ -92,6 +99,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Cluster, when non-nil, routes schedule requests across the peer
+	// set by consistent hashing with health-gated failover. The caller
+	// owns the membership's Start/Stop lifecycle; the server only
+	// consults it per request.
+	Cluster *cluster.Cluster
 	// Log receives one line per request (nil = log.Default()).
 	Log *log.Logger
 }
@@ -106,6 +118,16 @@ type Server struct {
 	metrics *metrics
 	start   time.Time
 	log     *log.Logger
+
+	// cluster is the peer membership (nil single-node); forwardClient
+	// carries proxied requests and snapshot pulls to peers.
+	cluster       *cluster.Cluster
+	forwardClient *http.Client
+
+	// warming and draining gate /v1/readyz: a node reports not-ready
+	// while its cache warms at boot and again once shutdown begins.
+	warming  atomic.Bool
+	draining atomic.Bool
 }
 
 // New returns a Server ready to serve requests.
@@ -146,9 +168,11 @@ func New(cfg Config) *Server {
 			MaxQueueDepth: cfg.MaxQueueDepth,
 			Tenants:       cfg.Tenants,
 		}),
-		metrics: newMetrics(),
-		start:   time.Now(),
-		log:     logger,
+		metrics:       newMetrics(),
+		start:         time.Now(),
+		log:           logger,
+		cluster:       cfg.Cluster,
+		forwardClient: newForwardClient(),
 	}
 	s.metrics.publish("cache", expvar.Func(func() any { return s.cache.Stats() }))
 	s.metrics.publish("cache_hit_ratio", expvar.Func(func() any { return s.cache.Stats().HitRatio() }))
@@ -158,6 +182,11 @@ func New(cfg Config) *Server {
 	s.metrics.publish("queue_depth_limit", expvar.Func(func() any { return s.admit.QueueDepth() }))
 	s.metrics.publish("tenants", expvar.Func(func() any { return s.admit.Stats().Tenants }))
 	s.metrics.publish("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	if s.cluster != nil {
+		s.metrics.publish("cluster", expvar.Func(func() any { return s.cluster.Stats() }))
+		s.metrics.publish("requests_forwarded_total", expvar.Func(func() any { return s.cluster.Forwards() }))
+		s.metrics.publish("requests_failed_over_total", expvar.Func(func() any { return s.cluster.Failovers() }))
+	}
 	return s
 }
 
@@ -217,7 +246,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schedule/layer", s.instrument("/v1/schedule/layer", s.handleLayer))
 	mux.HandleFunc("/v1/schedule/network", s.instrument("/v1/schedule/network", s.handleNetwork))
 	mux.HandleFunc("/v1/presets", s.instrument("/v1/presets", s.handlePresets))
-	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/readyz", s.instrument("/v1/readyz", s.handleReadyz))
+	mux.HandleFunc("/v1/cluster/snapshot", s.instrument("/v1/cluster/snapshot", s.handleClusterSnapshot))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz)) // legacy alias of /v1/healthz
 	mux.Handle("/debug/vars", s.metrics)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -230,8 +262,11 @@ func (s *Server) Handler() http.Handler {
 }
 
 // instrument wraps a handler with the request counters, the in-flight
-// gauge and one log line per request.
+// gauge and one log line per request. Successful probe hits (health
+// and readiness) are counted but not logged: peers probe every couple
+// of seconds and would otherwise drown real traffic in the log.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	probe := endpoint == "/healthz" || endpoint == "/v1/healthz" || endpoint == "/v1/readyz"
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(endpoint, 1)
 		s.metrics.inflight.Add(1)
@@ -241,6 +276,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		h(sw, r)
 		if sw.code >= 400 {
 			s.metrics.errors.Add(fmt.Sprint(sw.code), 1)
+		}
+		if probe && sw.code < 400 {
+			return
 		}
 		s.log.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Millisecond))
 	}
@@ -299,6 +337,13 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 	opts.Cache = s.cache
 	opts.Workers = s.cfg.SearchParallelism
 
+	// Cluster routing keys off the exact cache fingerprint, so
+	// identical layer requests coalesce onto one home peer's search.
+	rt, handled := s.routeSchedule(w, r, search.CacheKey(l, opts), req.TimeoutMS, req)
+	if handled {
+		return
+	}
+
 	// Single-layer requests are the latency-bound class: they overtake
 	// queued network sweeps and preempt running preemptible ones.
 	adm := admission.Request{Tenant: s.tenant(r, req.Tenant), Tier: admission.TierInteractive}
@@ -311,7 +356,10 @@ func (s *Server) handleLayer(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return buildLayerResponse(lr, cfg.Name, req.Full, msSince(start)), nil
+		resp := buildLayerResponse(lr, cfg.Name, req.Full, msSince(start))
+		resp.ServedBy = rt.servedBy
+		resp.DegradedRouting = rt.degraded
+		return resp, nil
 	}
 	if wantStream(r) {
 		s.streamSearch(w, r, req.TimeoutMS, adm, s.metrics.latency, run, func(v any) StreamEvent {
@@ -369,6 +417,13 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	var misses atomic.Int64
 	opts.CacheMisses = &misses
 
+	// Whole sweeps route as one unit by their request-level key, so
+	// identical sweeps coalesce on a single home peer.
+	rt, handled := s.routeSchedule(w, r, search.NetworkKey(req.Network, req.Scale, opts), req.TimeoutMS, req)
+	if handled {
+		return
+	}
+
 	// Network sweeps are the throughput-bound class: preemptible, so
 	// an interactive arrival can take their slot at the next candidate
 	// boundary (the sweep is then requeued and restarted).
@@ -385,7 +440,10 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return buildNetworkResponse(nr, int(misses.Load()), msSince(start)), nil
+		resp := buildNetworkResponse(nr, int(misses.Load()), msSince(start))
+		resp.ServedBy = rt.servedBy
+		resp.DegradedRouting = rt.degraded
+		return resp, nil
 	}
 	if wantStream(r) {
 		s.streamSearch(w, r, req.TimeoutMS, adm, s.metrics.netLat, run, func(v any) StreamEvent {

@@ -200,6 +200,12 @@ type LayerResponse struct {
 	// ElapsedMS is the server-side search time for this request; a
 	// cache hit reports sub-millisecond values.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// ServedBy is the advertise URL of the node that ran the search;
+	// empty outside cluster mode.
+	ServedBy string `json:"served_by,omitempty"`
+	// DegradedRouting marks a cluster response served off its down home
+	// peer — correct, but without that peer's warm cache.
+	DegradedRouting bool `json:"degraded_routing,omitempty"`
 }
 
 // NetworkLayerJSON is one per-layer row of a network response.
@@ -272,6 +278,10 @@ type NetworkResponse struct {
 	FuseDepth  int                  `json:"fuse_depth,omitempty"`
 	Segments   []FusedSegmentJSON   `json:"fused_segments,omitempty"`
 	Boundaries []FusionBoundaryJSON `json:"fusion_boundaries,omitempty"`
+	// ServedBy and DegradedRouting mirror LayerResponse's cluster
+	// routing fields.
+	ServedBy        string `json:"served_by,omitempty"`
+	DegradedRouting bool   `json:"degraded_routing,omitempty"`
 }
 
 // PresetArchJSON is one hardware preset row of GET /v1/presets.
